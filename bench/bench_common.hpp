@@ -1,0 +1,31 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared helpers for the experiment benches (E1..E13): library/netlist
+/// construction and uniform claim/shape-check reporting.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "janus/netlist/cell_library.hpp"
+#include "janus/netlist/generator.hpp"
+
+namespace janus::bench {
+
+inline std::shared_ptr<const CellLibrary> make_lib(const std::string& node = "28nm") {
+    return std::make_shared<const CellLibrary>(
+        make_default_library(*find_node(node)));
+}
+
+inline void banner(const char* id, const char* claimant, const char* claim) {
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, claimant);
+    std::printf("claim: %s\n", claim);
+    std::printf("==============================================================\n");
+}
+
+inline void shape_check(const char* what, bool ok) {
+    std::printf("SHAPE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+}  // namespace janus::bench

@@ -1,0 +1,157 @@
+/// Microbenchmarks of the JanusEDA hot kernels (google-benchmark):
+/// AIG construction + rewriting, cut enumeration, Espresso, maze vs
+/// line-search routing, bit-parallel fault simulation, BDD/BBDD builds,
+/// SOR grid solve. These are the per-operation costs behind the
+/// experiment-level numbers in E1/E3/E5/E9.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "janus/dft/fault_sim.hpp"
+#include "janus/logic/aig.hpp"
+#include "janus/logic/aig_rewrite.hpp"
+#include "janus/logic/bbdd.hpp"
+#include "janus/logic/bdd.hpp"
+#include "janus/logic/cut_enum.hpp"
+#include "janus/logic/espresso.hpp"
+#include "janus/logic/tech_map.hpp"
+#include "janus/netlist/generator.hpp"
+#include "janus/power/power_grid.hpp"
+#include "janus/route/line_search.hpp"
+#include "janus/route/maze_router.hpp"
+#include "janus/util/rng.hpp"
+
+namespace {
+
+using namespace janus;
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+Netlist bench_design(std::size_t gates) {
+    GeneratorConfig cfg;
+    cfg.num_gates = gates;
+    cfg.num_inputs = 24;
+    cfg.seed = 7;
+    return generate_random(lib28(), cfg);
+}
+
+void BM_AigFromNetlist(benchmark::State& state) {
+    const Netlist nl = bench_design(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Aig::from_netlist(nl).num_ands());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AigFromNetlist)->Arg(500)->Arg(2000);
+
+void BM_AigRefactor(benchmark::State& state) {
+    const Aig aig =
+        Aig::from_netlist(bench_design(static_cast<std::size_t>(state.range(0))))
+            .cleanup();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(refactor(aig).num_ands());
+    }
+}
+BENCHMARK(BM_AigRefactor)->Arg(500)->Arg(2000);
+
+void BM_CutEnumeration(benchmark::State& state) {
+    const Aig aig = Aig::from_netlist(bench_design(2000)).cleanup();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enumerate_cuts(aig).cuts.size());
+    }
+}
+BENCHMARK(BM_CutEnumeration);
+
+void BM_TechMap(benchmark::State& state) {
+    const Aig aig = Aig::from_netlist(bench_design(1000)).cleanup();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tech_map(aig, lib28()).num_instances());
+    }
+}
+BENCHMARK(BM_TechMap);
+
+void BM_Espresso(benchmark::State& state) {
+    // Random 6-variable function.
+    Rng rng(11);
+    TruthTable tt(6);
+    for (std::uint64_t m = 0; m < 64; ++m) tt.set_bit(m, rng.next_bool());
+    const Cover onset = Cover::from_truth_table(tt);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(espresso(onset).cover.size());
+    }
+}
+BENCHMARK(BM_Espresso);
+
+void BM_MazeRoute(benchmark::State& state) {
+    GridGraph grid(64, 64, 8.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(maze_route(grid, {2, 3}, {60, 58}));
+    }
+}
+BENCHMARK(BM_MazeRoute);
+
+void BM_LineSearchRoute(benchmark::State& state) {
+    GridGraph grid(64, 64, 8.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(line_search_route(grid, {2, 3}, {60, 58}));
+    }
+}
+BENCHMARK(BM_LineSearchRoute);
+
+void BM_FaultSimBatch(benchmark::State& state) {
+    const Netlist nl = bench_design(1000);
+    PatternBatch batch;
+    batch.words.assign(num_input_slots(nl), 0xDEADBEEFCAFEBABEull);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulate_batch(nl, batch).size());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);  // patterns per batch
+}
+BENCHMARK(BM_FaultSimBatch);
+
+void BM_BddAdder(benchmark::State& state) {
+    const Netlist nl = generate_adder(lib28(), 6);
+    const auto tts = Aig::from_netlist(nl).output_truth_tables();
+    for (auto _ : state) {
+        Bdd bdd(13);
+        std::size_t total = 0;
+        for (const TruthTable& tt : tts) total += bdd.from_truth_table(tt);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_BddAdder);
+
+void BM_BbddAdder(benchmark::State& state) {
+    const Netlist nl = generate_adder(lib28(), 6);
+    const auto tts = Aig::from_netlist(nl).output_truth_tables();
+    for (auto _ : state) {
+        Bbdd bbdd(13);
+        std::size_t total = 0;
+        for (const TruthTable& tt : tts) total += bbdd.from_truth_table(tt);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_BbddAdder);
+
+void BM_PowerGridSolve(benchmark::State& state) {
+    PowerGrid grid(Rect{0, 0, 100000, 100000}, 0.95);
+    Rng rng(5);
+    for (std::size_t r = 0; r < grid.rows(); ++r) {
+        for (std::size_t c = 0; c < grid.cols(); ++c) {
+            grid.add_current(c, r, rng.next_double());
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(grid.solve().worst_drop_v);
+    }
+}
+BENCHMARK(BM_PowerGridSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

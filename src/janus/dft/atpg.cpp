@@ -1,0 +1,54 @@
+#include "janus/dft/atpg.hpp"
+
+#include <algorithm>
+
+#include "janus/util/rng.hpp"
+
+namespace janus {
+
+AtpgResult random_atpg(const Netlist& nl, const AtpgOptions& opts) {
+    AtpgResult res;
+    Rng rng(opts.seed);
+    std::vector<Fault> remaining = enumerate_faults(nl);
+    const std::size_t total = remaining.size();
+    std::size_t detected_total = 0;
+    const std::size_t slots = num_input_slots(nl);
+
+    while (res.patterns_used < opts.max_patterns) {
+        PatternBatch batch;
+        batch.count = static_cast<int>(
+            std::min<std::size_t>(64, opts.max_patterns - res.patterns_used));
+        batch.words.resize(slots);
+        for (auto& w : batch.words) {
+            std::uint64_t word = 0;
+            for (int b = 0; b < batch.count; ++b) {
+                if (rng.next_bool(opts.one_probability)) word |= (1ull << b);
+            }
+            w = word;
+        }
+        const FaultSimResult fs = fault_simulate(nl, {batch}, remaining);
+        detected_total += fs.detected;
+        remaining = fs.undetected;
+        res.patterns.push_back(std::move(batch));
+        res.patterns_used += static_cast<std::size_t>(res.patterns.back().count);
+        const double cov =
+            total ? static_cast<double>(detected_total) / static_cast<double>(total)
+                  : 1.0;
+        res.curve.emplace_back(res.patterns_used, cov);
+        if (cov >= opts.target_coverage) break;
+        if (fs.detected == 0 && res.curve.size() > 4) {
+            // Four consecutive dry batches: random patterns saturated.
+            const auto n = res.curve.size();
+            if (res.curve[n - 2].second == cov && res.curve[n - 3].second == cov &&
+                res.curve[n - 4].second == cov) {
+                break;
+            }
+        }
+    }
+    res.coverage = total ? static_cast<double>(detected_total) / static_cast<double>(total)
+                         : 1.0;
+    res.undetected = std::move(remaining);
+    return res;
+}
+
+}  // namespace janus

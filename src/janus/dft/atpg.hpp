@@ -1,0 +1,35 @@
+#pragma once
+/// \file atpg.hpp
+/// Random-pattern ATPG with fault dropping: generates 64-pattern batches
+/// until the coverage target or the pattern budget is reached, recording
+/// the coverage curve. Scan-based testing treats the sequential design as
+/// its combinational core.
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/dft/fault_sim.hpp"
+
+namespace janus {
+
+struct AtpgOptions {
+    double target_coverage = 0.98;
+    std::size_t max_patterns = 4096;
+    std::uint64_t seed = 1;
+    /// Bias of random input bits toward 1 (0.5 = uniform).
+    double one_probability = 0.5;
+};
+
+struct AtpgResult {
+    std::vector<PatternBatch> patterns;
+    std::size_t patterns_used = 0;
+    double coverage = 0;
+    std::vector<Fault> undetected;
+    /// (patterns, coverage) after each batch — the coverage curve.
+    std::vector<std::pair<std::size_t, double>> curve;
+};
+
+/// Runs random ATPG against all collapsed stuck-at faults.
+AtpgResult random_atpg(const Netlist& nl, const AtpgOptions& opts = {});
+
+}  // namespace janus

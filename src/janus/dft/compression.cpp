@@ -1,0 +1,132 @@
+#include "janus/dft/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "janus/util/rng.hpp"
+
+namespace janus {
+
+LinearDecompressor::LinearDecompressor(std::size_t scan_cells, int channels,
+                                       int chains, std::uint64_t seed)
+    : scan_cells_(scan_cells) {
+    if (scan_cells == 0 || channels < 1 || chains < 1) {
+        throw std::invalid_argument("LinearDecompressor: bad configuration");
+    }
+    const std::size_t cycles =
+        (scan_cells + static_cast<std::size_t>(chains) - 1) /
+        static_cast<std::size_t>(chains);
+    channel_bits_ = cycles * static_cast<std::size_t>(channels);
+    // Each cell taps ~4 channel bits, biased toward bits injected at or
+    // before the cell's shift cycle (mimicking LFSR state evolution).
+    Rng rng(seed);
+    taps_.resize(scan_cells_);
+    for (std::size_t cell = 0; cell < scan_cells_; ++cell) {
+        const std::size_t cycle = cell / static_cast<std::size_t>(chains);
+        const std::size_t avail = (cycle + 1) * static_cast<std::size_t>(channels);
+        const int ntaps = 3 + static_cast<int>(rng.next_below(3));
+        for (int t = 0; t < ntaps; ++t) {
+            taps_[cell].push_back(
+                static_cast<std::uint32_t>(rng.next_below(avail)));
+        }
+        std::sort(taps_[cell].begin(), taps_[cell].end());
+        taps_[cell].erase(std::unique(taps_[cell].begin(), taps_[cell].end()),
+                          taps_[cell].end());
+    }
+}
+
+std::vector<bool> LinearDecompressor::expand(
+    const std::vector<bool>& channel_bits) const {
+    if (channel_bits.size() != channel_bits_) {
+        throw std::invalid_argument("expand: channel bit count mismatch");
+    }
+    std::vector<bool> cells(scan_cells_, false);
+    for (std::size_t c = 0; c < scan_cells_; ++c) {
+        bool v = false;
+        for (const std::uint32_t t : taps_[c]) v = v != channel_bits[t];
+        cells[c] = v;
+    }
+    return cells;
+}
+
+std::optional<std::vector<bool>> LinearDecompressor::encode(
+    const TestCube& cube) const {
+    if (cube.care_cells.size() != cube.care_values.size()) {
+        throw std::invalid_argument("encode: malformed cube");
+    }
+    // Build the GF(2) system: one row per care bit over channel_bits_
+    // unknowns, bit-packed into words.
+    const std::size_t words = (channel_bits_ + 63) / 64;
+    struct Row {
+        std::vector<std::uint64_t> a;
+        bool rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(cube.care_cells.size());
+    for (std::size_t i = 0; i < cube.care_cells.size(); ++i) {
+        const std::uint32_t cell = cube.care_cells[i];
+        if (cell >= scan_cells_) {
+            throw std::out_of_range("encode: care cell out of range");
+        }
+        Row r;
+        r.a.assign(words, 0);
+        for (const std::uint32_t t : taps_[cell]) {
+            r.a[t / 64] ^= (1ull << (t % 64));
+        }
+        r.rhs = cube.care_values[i];
+        rows.push_back(std::move(r));
+    }
+
+    // Gaussian elimination.
+    std::vector<std::size_t> pivot_col;
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < channel_bits_ && rank < rows.size(); ++col) {
+        std::size_t sel = rows.size();
+        for (std::size_t r = rank; r < rows.size(); ++r) {
+            if ((rows[r].a[col / 64] >> (col % 64)) & 1) {
+                sel = r;
+                break;
+            }
+        }
+        if (sel == rows.size()) continue;
+        std::swap(rows[rank], rows[sel]);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            if (r == rank) continue;
+            if ((rows[r].a[col / 64] >> (col % 64)) & 1) {
+                for (std::size_t w = 0; w < words; ++w) rows[r].a[w] ^= rows[rank].a[w];
+                rows[r].rhs = rows[r].rhs != rows[rank].rhs;
+            }
+        }
+        pivot_col.push_back(col);
+        ++rank;
+    }
+    // Inconsistent row: 0 = 1.
+    for (std::size_t r = rank; r < rows.size(); ++r) {
+        bool any = false;
+        for (const std::uint64_t w : rows[r].a) any |= (w != 0);
+        if (!any && rows[r].rhs) return std::nullopt;
+    }
+
+    std::vector<bool> solution(channel_bits_, false);
+    for (std::size_t r = 0; r < rank; ++r) {
+        solution[pivot_col[r]] = rows[r].rhs;
+    }
+    return solution;
+}
+
+Misr::Misr(int width, std::uint64_t polynomial_seed) : width_(width) {
+    if (width < 4 || width > 64) throw std::invalid_argument("Misr: bad width");
+    // Ensure the feedback polynomial has the top tap set.
+    poly_ = polynomial_seed | 1ull | (1ull << (width - 1));
+}
+
+void Misr::absorb(std::uint64_t slice) {
+    const std::uint64_t mask = width_ == 64 ? ~0ull : ((1ull << width_) - 1);
+    const bool msb = (state_ >> (width_ - 1)) & 1;
+    state_ = ((state_ << 1) & mask) ^ (msb ? (poly_ & mask) : 0) ^ (slice & mask);
+}
+
+double Misr::aliasing_probability() const { return std::pow(2.0, -width_); }
+
+}  // namespace janus

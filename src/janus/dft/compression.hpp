@@ -1,0 +1,73 @@
+#pragma once
+/// \file compression.hpp
+/// Test-data compression in the EDT style: a linear (XOR-network)
+/// decompressor expands a few tester channels into many scan-chain bits,
+/// and encoding a test cube means solving a GF(2) linear system over the
+/// channel bits. Response compaction uses a MISR. Panelist Sawicki:
+/// "high-compression DFT technologies will be targeted at low-pin-count
+/// test, enabling lower cost packaging" (experiment E9).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace janus {
+
+/// A deterministic test cube: values for a subset of scan cells.
+struct TestCube {
+    std::vector<std::uint32_t> care_cells;  ///< scan cell indices
+    std::vector<bool> care_values;          ///< same order
+};
+
+/// Linear decompressor: scan cell bit = XOR of a pseudo-random subset of
+/// the channel-input bit stream (channels x shift cycles bits total).
+class LinearDecompressor {
+  public:
+    /// `scan_cells` total cells, fed by `channels` tester pins over
+    /// ceil(scan_cells / chains) shift cycles.
+    LinearDecompressor(std::size_t scan_cells, int channels, int chains,
+                       std::uint64_t seed = 1);
+
+    std::size_t scan_cells() const { return scan_cells_; }
+    std::size_t channel_bits() const { return channel_bits_; }
+    /// Input-data compression ratio: scan bits / channel bits.
+    double compression_ratio() const {
+        return static_cast<double>(scan_cells_) /
+               static_cast<double>(channel_bits_);
+    }
+
+    /// Expands a channel-bit assignment into all scan-cell values.
+    std::vector<bool> expand(const std::vector<bool>& channel_bits) const;
+
+    /// Solves for channel bits reproducing the cube's care bits (GF(2)
+    /// Gaussian elimination); nullopt when the system is unsatisfiable —
+    /// the "encoding failure" real EDT retries with a new configuration.
+    std::optional<std::vector<bool>> encode(const TestCube& cube) const;
+
+  private:
+    std::size_t scan_cells_;
+    std::size_t channel_bits_;
+    /// Per scan cell: indices of channel bits XORed into it.
+    std::vector<std::vector<std::uint32_t>> taps_;
+};
+
+/// Multiple-input signature register for response compaction.
+class Misr {
+  public:
+    explicit Misr(int width, std::uint64_t polynomial_seed = 0xD008);
+
+    /// Absorbs one scan-out slice (low `width` bits used).
+    void absorb(std::uint64_t slice);
+    std::uint64_t signature() const { return state_; }
+    void reset() { state_ = 0; }
+    int width() const { return width_; }
+    /// Probability a random error escapes (aliases): 2^-width.
+    double aliasing_probability() const;
+
+  private:
+    int width_;
+    std::uint64_t poly_;
+    std::uint64_t state_ = 0;
+};
+
+}  // namespace janus

@@ -1,0 +1,61 @@
+#pragma once
+/// \file fault_sim.hpp
+/// Stuck-at fault model and 64-way bit-parallel fault simulation over the
+/// combinational core of a full-scan design (flops act as pseudo-PI/PO).
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// One stuck-at fault on a net.
+struct Fault {
+    NetId net = 0;
+    bool stuck_value = false;  ///< false = SA0, true = SA1
+    friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// All collapsed stuck-at faults: two per driven net.
+std::vector<Fault> enumerate_faults(const Netlist& nl);
+
+/// A batch of up to 64 test patterns over the input slots (primary inputs
+/// followed by flop pseudo-inputs). words[s] bit p = value of slot s in
+/// pattern p.
+struct PatternBatch {
+    std::vector<std::uint64_t> words;
+    int count = 64;  ///< patterns used in this batch (low bits)
+};
+
+/// Number of input slots (PIs + flops) of the combinational core.
+std::size_t num_input_slots(const Netlist& nl);
+/// Number of observe slots (POs + flop D pseudo-outputs).
+std::size_t num_output_slots(const Netlist& nl);
+
+/// Bit-parallel good-machine simulation: returns one word per net.
+std::vector<std::uint64_t> simulate_batch(const Netlist& nl,
+                                          const PatternBatch& batch);
+
+/// Observed response words, one per output slot, extracted from net values.
+std::vector<std::uint64_t> observe(const Netlist& nl,
+                                   const std::vector<std::uint64_t>& net_values);
+
+struct FaultSimResult {
+    std::size_t total_faults = 0;
+    std::size_t detected = 0;
+    /// Remaining undetected faults after all batches.
+    std::vector<Fault> undetected;
+    double coverage() const {
+        return total_faults
+                   ? static_cast<double>(detected) / static_cast<double>(total_faults)
+                   : 0.0;
+    }
+};
+
+/// Simulates every fault against the batches with fault dropping.
+FaultSimResult fault_simulate(const Netlist& nl,
+                              const std::vector<PatternBatch>& batches,
+                              const std::vector<Fault>& faults);
+
+}  // namespace janus

@@ -1,0 +1,134 @@
+#include "janus/dft/scan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+Point flop_position(const Netlist& nl, InstId f) { return nl.instance(f).position; }
+
+double chain_length_um(const Netlist& nl, const std::vector<InstId>& order) {
+    double um = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        um += static_cast<double>(manhattan(flop_position(nl, order[i - 1]),
+                                            flop_position(nl, order[i]))) *
+              1e-3;
+    }
+    return um;
+}
+
+/// Restitches the SI pins of a chain to match `order`.
+void stitch(Netlist& nl, const ScanChain& chain) {
+    NetId prev = chain.scan_in;
+    for (const InstId f : chain.flops) {
+        nl.connect_input(f, 1, prev);  // SI is pin 1 of SDFF
+        prev = nl.instance(f).output;
+    }
+}
+
+}  // namespace
+
+ScanInsertion insert_scan(Netlist& nl, int num_chains) {
+    if (num_chains < 1) throw std::invalid_argument("insert_scan: num_chains < 1");
+    const auto sdff = nl.library().find_function(CellFunction::ScanDff);
+    if (!sdff) throw std::runtime_error("insert_scan: library lacks SDFF");
+
+    const auto flops = nl.sequential_instances();
+    ScanInsertion si;
+    si.scan_enable = nl.add_primary_input("scan_enable");
+
+    // Convert DFF -> SDFF: same D (pin 0); SI (pin 1) stitched below; SE
+    // (pin 2) shared.
+    for (const InstId f : flops) {
+        if (nl.type_of(f).function == CellFunction::ScanDff) continue;
+        Instance& inst = nl.instance(f);
+        inst.type = *sdff;
+        nl.connect_input(f, 2, si.scan_enable);
+    }
+
+    const std::size_t per_chain =
+        (flops.size() + static_cast<std::size_t>(num_chains) - 1) /
+        std::max<std::size_t>(1, static_cast<std::size_t>(num_chains));
+    for (int c = 0; c < num_chains; ++c) {
+        ScanChain chain;
+        chain.scan_in = nl.add_primary_input("scan_in" + std::to_string(c));
+        const std::size_t begin = static_cast<std::size_t>(c) * per_chain;
+        const std::size_t end = std::min(flops.size(), begin + per_chain);
+        for (std::size_t i = begin; i < end; ++i) chain.flops.push_back(flops[i]);
+        if (chain.flops.empty()) {
+            continue;
+        }
+        stitch(nl, chain);
+        chain.scan_out_name = "scan_out" + std::to_string(c);
+        nl.add_primary_output(chain.scan_out_name,
+                              nl.instance(chain.flops.back()).output);
+        si.chains.push_back(std::move(chain));
+    }
+    return si;
+}
+
+double scan_wirelength_um(const Netlist& nl, const ScanChain& chain) {
+    return chain_length_um(nl, chain.flops);
+}
+
+ReorderResult reorder_scan(Netlist& nl, ScanInsertion& scan) {
+    ReorderResult res;
+    for (ScanChain& chain : scan.chains) {
+        res.before_um += scan_wirelength_um(nl, chain);
+        if (chain.flops.size() < 3) {
+            res.after_um += scan_wirelength_um(nl, chain);
+            continue;
+        }
+        // Greedy nearest-neighbor from the current first flop.
+        std::vector<InstId> remaining(chain.flops.begin() + 1, chain.flops.end());
+        std::vector<InstId> order{chain.flops.front()};
+        while (!remaining.empty()) {
+            const Point cur = flop_position(nl, order.back());
+            std::size_t best = 0;
+            std::int64_t best_d = manhattan(cur, flop_position(nl, remaining[0]));
+            for (std::size_t i = 1; i < remaining.size(); ++i) {
+                const std::int64_t d = manhattan(cur, flop_position(nl, remaining[i]));
+                if (d < best_d) {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            order.push_back(remaining[best]);
+            remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+        }
+        // 2-opt refinement.
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (std::size_t i = 0; i + 2 < order.size(); ++i) {
+                for (std::size_t j = i + 2; j < order.size(); ++j) {
+                    const Point a = flop_position(nl, order[i]);
+                    const Point b = flop_position(nl, order[i + 1]);
+                    const Point c = flop_position(nl, order[j]);
+                    const std::int64_t before = manhattan(a, b) +
+                                                (j + 1 < order.size()
+                                                     ? manhattan(c, flop_position(nl, order[j + 1]))
+                                                     : 0);
+                    const std::int64_t after = manhattan(a, c) +
+                                               (j + 1 < order.size()
+                                                    ? manhattan(b, flop_position(nl, order[j + 1]))
+                                                    : 0);
+                    if (after < before) {
+                        std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                     order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+                        improved = true;
+                    }
+                }
+            }
+        }
+        chain.flops = std::move(order);
+        stitch(nl, chain);
+        nl.set_primary_output(chain.scan_out_name,
+                              nl.instance(chain.flops.back()).output);
+        res.after_um += scan_wirelength_um(nl, chain);
+    }
+    return res;
+}
+
+}  // namespace janus

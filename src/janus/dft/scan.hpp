@@ -1,0 +1,45 @@
+#pragma once
+/// \file scan.hpp
+/// Scan insertion and scan-chain reordering. Insertion swaps every DFF
+/// for a scan flop and stitches SI pins into chains; reordering restitches
+/// a placed design's chains by location — the back-end DFT step panelist
+/// Rossi argues should no longer be treated as a front-end activity (E8).
+
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+struct ScanChain {
+    NetId scan_in = kNoNet;
+    std::string scan_out_name;  ///< primary output observing the chain tail
+    std::vector<InstId> flops;  ///< shift order, scan-in side first
+};
+
+struct ScanInsertion {
+    std::vector<ScanChain> chains;
+    NetId scan_enable = kNoNet;
+};
+
+/// Converts all DFFs to scan flops and stitches `num_chains` chains in
+/// instance-id order (the "front-end" order that ignores placement).
+/// Adds scan_in/scan_enable primary inputs and scan_out outputs.
+ScanInsertion insert_scan(Netlist& nl, int num_chains = 1);
+
+/// Total stitched SI-to-Q wirelength of a chain (um) from placement.
+double scan_wirelength_um(const Netlist& nl, const ScanChain& chain);
+
+struct ReorderResult {
+    double before_um = 0;
+    double after_um = 0;
+    double improvement() const {
+        return before_um > 0 ? 1.0 - after_um / before_um : 0.0;
+    }
+};
+
+/// Reorders each chain by placement (greedy nearest-neighbor + 2-opt) and
+/// restitches the SI pins in the netlist.
+ReorderResult reorder_scan(Netlist& nl, ScanInsertion& scan);
+
+}  // namespace janus

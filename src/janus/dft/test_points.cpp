@@ -1,0 +1,44 @@
+#include "janus/dft/test_points.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace janus {
+
+TestPointResult insert_observe_points(Netlist& nl, const TestPointOptions& opts) {
+    TestPointResult res;
+    const AtpgResult before = random_atpg(nl, opts.atpg);
+    res.coverage_before = before.coverage;
+
+    // Rank nets by how many undetected faults sit on or immediately feed
+    // them (a net with both SA0 and SA1 undetected is a prime candidate).
+    std::map<NetId, int> weight;
+    for (const Fault& f : before.undetected) ++weight[f.net];
+    std::vector<std::pair<int, NetId>> ranked;
+    ranked.reserve(weight.size());
+    for (const auto& [net, w] : weight) ranked.emplace_back(w, net);
+    std::sort(ranked.rbegin(), ranked.rend());
+
+    int tp = 0;
+    for (const auto& [w, net] : ranked) {
+        if (res.observe_points.size() >= opts.max_points) break;
+        // Skip nets that are already observed directly.
+        bool is_po = false;
+        for (const auto& [name, po_net] : nl.primary_outputs()) {
+            (void)name;
+            if (po_net == net) {
+                is_po = true;
+                break;
+            }
+        }
+        if (is_po) continue;
+        nl.add_primary_output("tp" + std::to_string(tp++), net);
+        res.observe_points.push_back(net);
+    }
+
+    res.final_atpg = random_atpg(nl, opts.atpg);
+    res.coverage_after = res.final_atpg.coverage;
+    return res;
+}
+
+}  // namespace janus

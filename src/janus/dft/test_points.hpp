@@ -1,0 +1,34 @@
+#pragma once
+/// \file test_points.hpp
+/// Observability test-point insertion: nets whose faults random patterns
+/// cannot detect gain observe points (tap flops / direct outputs),
+/// raising coverage without deterministic ATPG — the classic companion
+/// to logic BIST and compression flows.
+
+#include <vector>
+
+#include "janus/dft/atpg.hpp"
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+struct TestPointOptions {
+    /// Maximum observe points to insert.
+    std::size_t max_points = 16;
+    AtpgOptions atpg;
+};
+
+struct TestPointResult {
+    double coverage_before = 0;
+    double coverage_after = 0;
+    std::vector<NetId> observe_points;  ///< nets given a new observer
+    AtpgResult final_atpg;
+};
+
+/// Runs ATPG, ranks undetected faults by net, adds observe points (new
+/// primary outputs named "tp<N>") on the most fault-laden undetected
+/// nets, and re-runs ATPG. The netlist is modified in place.
+TestPointResult insert_observe_points(Netlist& nl,
+                                      const TestPointOptions& opts = {});
+
+}  // namespace janus

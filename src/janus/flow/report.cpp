@@ -1,0 +1,40 @@
+#include "janus/flow/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace janus {
+
+std::string format_flow_result(const FlowResult& r) {
+    std::ostringstream os;
+    os << r.design << ": " << r.instances << " inst, area " << std::fixed
+       << std::setprecision(1) << r.area_um2 << " um2, HPWL " << r.hpwl_um
+       << " um, route " << r.route_wirelength << " (ovfl " << r.route_overflow
+       << "), delay " << r.critical_delay_ps << " ps, power "
+       << std::setprecision(3) << r.total_power_mw << " mW, "
+       << (r.legal ? "legal" : "ILLEGAL") << ", " << std::setprecision(0)
+       << r.runtime_ms << " ms";
+    return os.str();
+}
+
+std::string format_flow_table(const std::vector<FlowResult>& runs) {
+    std::ostringstream os;
+    os << std::left << std::setw(18) << "design" << std::right << std::setw(9)
+       << "inst" << std::setw(12) << "area_um2" << std::setw(11) << "hpwl_um"
+       << std::setw(9) << "route" << std::setw(7) << "ovfl" << std::setw(10)
+       << "delay_ps" << std::setw(10) << "power_mW" << std::setw(9) << "time_ms"
+       << "\n";
+    for (const FlowResult& r : runs) {
+        os << std::left << std::setw(18) << r.design << std::right << std::fixed
+           << std::setw(9) << r.instances << std::setw(12) << std::setprecision(0)
+           << r.area_um2 << std::setw(11) << r.hpwl_um << std::setw(9)
+           << r.route_wirelength << std::setw(7) << std::setprecision(0)
+           << r.route_overflow << std::setw(10) << std::setprecision(1)
+           << r.critical_delay_ps << std::setw(10) << std::setprecision(3)
+           << r.total_power_mw << std::setw(9) << std::setprecision(0)
+           << r.runtime_ms << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace janus

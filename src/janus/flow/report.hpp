@@ -1,0 +1,18 @@
+#pragma once
+/// \file report.hpp
+/// Human-readable QoR reporting for flow runs.
+
+#include <string>
+#include <vector>
+
+#include "janus/flow/flow.hpp"
+
+namespace janus {
+
+/// One-line QoR summary.
+std::string format_flow_result(const FlowResult& r);
+
+/// Multi-run comparison table (fixed-width columns).
+std::string format_flow_table(const std::vector<FlowResult>& runs);
+
+}  // namespace janus

@@ -1,0 +1,129 @@
+#include "janus/litho/aerial_image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace janus {
+namespace {
+
+/// 1-D Gaussian kernel, normalized, truncated at 3 sigma.
+std::vector<double> gaussian_kernel(double sigma_px) {
+    const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma_px)));
+    std::vector<double> k(static_cast<std::size_t>(2 * radius + 1));
+    double sum = 0;
+    for (int i = -radius; i <= radius; ++i) {
+        const double v = std::exp(-0.5 * (i / sigma_px) * (i / sigma_px));
+        k[static_cast<std::size_t>(i + radius)] = v;
+        sum += v;
+    }
+    for (double& v : k) v /= sum;
+    return k;
+}
+
+void convolve_rows(const std::vector<double>& in, std::vector<double>& out,
+                   int width, int height, const std::vector<double>& kernel) {
+    const int radius = static_cast<int>(kernel.size() / 2);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            double acc = 0;
+            for (int k = -radius; k <= radius; ++k) {
+                const int xx = std::clamp(x + k, 0, width - 1);
+                acc += in[static_cast<std::size_t>(y) * width + xx] *
+                       kernel[static_cast<std::size_t>(k + radius)];
+            }
+            out[static_cast<std::size_t>(y) * width + x] = acc;
+        }
+    }
+}
+
+void convolve_cols(const std::vector<double>& in, std::vector<double>& out,
+                   int width, int height, const std::vector<double>& kernel) {
+    const int radius = static_cast<int>(kernel.size() / 2);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            double acc = 0;
+            for (int k = -radius; k <= radius; ++k) {
+                const int yy = std::clamp(y + k, 0, height - 1);
+                acc += in[static_cast<std::size_t>(yy) * width + x] *
+                       kernel[static_cast<std::size_t>(k + radius)];
+            }
+            out[static_cast<std::size_t>(y) * width + x] = acc;
+        }
+    }
+}
+
+}  // namespace
+
+PrintResult simulate_print(const MaskRaster& mask, const OpticalModel& optics) {
+    PrintResult res;
+    res.width = mask.width();
+    res.height = mask.height();
+    const double sigma_px = optics.sigma_nm() / mask.nm_per_pixel();
+    const auto kernel = gaussian_kernel(sigma_px);
+
+    std::vector<double> tmp(mask.data().size());
+    res.intensity.resize(mask.data().size());
+    convolve_rows(mask.data(), tmp, res.width, res.height, kernel);
+    convolve_cols(tmp, res.intensity, res.width, res.height, kernel);
+
+    res.printed.resize(res.intensity.size());
+    for (std::size_t i = 0; i < res.intensity.size(); ++i) {
+        res.printed[i] = res.intensity[i] >= optics.resist_threshold ? 1.0 : 0.0;
+    }
+    return res;
+}
+
+EpeReport measure_epe(const std::vector<double>& target,
+                      const std::vector<double>& printed, int width, int height,
+                      double nm_per_pixel) {
+    EpeReport rep;
+    double sum_epe = 0;
+    std::size_t edge_samples = 0;
+    std::size_t mismatched = 0, target_pixels = 0;
+    bool any_target = false, any_overlap = false;
+
+    const auto at = [&](const std::vector<double>& img, int x, int y) {
+        return img[static_cast<std::size_t>(y) * width + x] > 0.5;
+    };
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const bool t = at(target, x, y);
+            const bool p = at(printed, x, y);
+            if (t) {
+                ++target_pixels;
+                any_target = true;
+                if (p) any_overlap = true;
+            }
+            if (t != p) ++mismatched;
+            // Horizontal target edges: measure displacement along the row.
+            if (x + 1 < width && t != at(target, x + 1, y)) {
+                // Find the printed transition nearest to this target edge.
+                int best = width;
+                for (int dx = 0; dx < width; ++dx) {
+                    for (const int xx : {x - dx, x + dx}) {
+                        if (xx < 0 || xx + 1 >= width) continue;
+                        if (at(printed, xx, y) != at(printed, xx + 1, y)) {
+                            best = dx;
+                            break;
+                        }
+                    }
+                    if (best < width) break;
+                }
+                const double epe =
+                    (best >= width ? width : best) * nm_per_pixel;
+                sum_epe += epe;
+                rep.max_epe_nm = std::max(rep.max_epe_nm, epe);
+                ++edge_samples;
+            }
+        }
+    }
+    rep.mean_epe_nm = edge_samples ? sum_epe / static_cast<double>(edge_samples) : 0;
+    rep.area_error = target_pixels
+                         ? static_cast<double>(mismatched) / static_cast<double>(target_pixels)
+                         : 0;
+    rep.feature_lost = any_target && !any_overlap;
+    return rep;
+}
+
+}  // namespace janus

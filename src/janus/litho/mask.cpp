@@ -1,0 +1,46 @@
+#include "janus/litho/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace janus {
+
+MaskRaster::MaskRaster(const std::vector<MaskFeature>& features,
+                       double nm_per_pixel, double margin_nm)
+    : nm_per_pixel_(nm_per_pixel) {
+    if (features.empty()) throw std::invalid_argument("MaskRaster: no features");
+    if (nm_per_pixel <= 0) throw std::invalid_argument("MaskRaster: bad resolution");
+    Rect bbox;
+    for (const MaskFeature& f : features) bbox = bounding_box(bbox, f.drawn());
+    bbox = bbox.inflated(static_cast<std::int64_t>(margin_nm));
+    origin_ = bbox.lo;
+    width_ = static_cast<int>(std::ceil(static_cast<double>(bbox.width()) / nm_per_pixel)) + 1;
+    height_ = static_cast<int>(std::ceil(static_cast<double>(bbox.height()) / nm_per_pixel)) + 1;
+    data_.assign(static_cast<std::size_t>(width_) * height_, 0.0);
+    for (const MaskFeature& f : features) fill_rect(data_, f.drawn());
+}
+
+void MaskRaster::fill_rect(std::vector<double>& img, const Rect& r) const {
+    const auto px = [&](std::int64_t v, std::int64_t o) {
+        return static_cast<int>(static_cast<double>(v - o) / nm_per_pixel_);
+    };
+    const int x0 = std::max(0, px(r.lo.x, origin_.x));
+    const int x1 = std::min(width_ - 1, px(r.hi.x, origin_.x));
+    const int y0 = std::max(0, px(r.lo.y, origin_.y));
+    const int y1 = std::min(height_ - 1, px(r.hi.y, origin_.y));
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            img[index(x, y)] = 1.0;
+        }
+    }
+}
+
+std::vector<double> MaskRaster::rasterize_targets(
+    const std::vector<MaskFeature>& features) const {
+    std::vector<double> img(data_.size(), 0.0);
+    for (const MaskFeature& f : features) fill_rect(img, f.target);
+    return img;
+}
+
+}  // namespace janus

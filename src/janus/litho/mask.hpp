@@ -1,0 +1,62 @@
+#pragma once
+/// \file mask.hpp
+/// Rasterized mask layouts for computational lithography. A mask holds
+/// polygon (rectangle) data plus per-edge OPC biases; rasterization
+/// produces the pixel grid the aerial-image simulator convolves.
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/util/geometry.hpp"
+
+namespace janus {
+
+/// One mask feature: a target rectangle plus movable edge biases (nm,
+/// positive = outward). OPC manipulates the biases, never the target.
+struct MaskFeature {
+    Rect target;  ///< designed shape, nm
+    double bias_left = 0, bias_right = 0, bias_bottom = 0, bias_top = 0;
+
+    /// The drawn (biased) rectangle.
+    Rect drawn() const {
+        return Rect{target.lo.x - static_cast<std::int64_t>(bias_left),
+                    target.lo.y - static_cast<std::int64_t>(bias_bottom),
+                    target.hi.x + static_cast<std::int64_t>(bias_right),
+                    target.hi.y + static_cast<std::int64_t>(bias_top)};
+    }
+};
+
+/// A binary pixel raster of the drawn mask.
+class MaskRaster {
+  public:
+    /// Rasterizes features over their bounding box plus `margin_nm`,
+    /// at `nm_per_pixel` resolution.
+    MaskRaster(const std::vector<MaskFeature>& features, double nm_per_pixel,
+               double margin_nm);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double nm_per_pixel() const { return nm_per_pixel_; }
+    /// World coordinate of pixel (0,0)'s corner.
+    Point origin() const { return origin_; }
+
+    double pixel(int x, int y) const { return data_[index(x, y)]; }
+    const std::vector<double>& data() const { return data_; }
+
+    /// Rasterizes a target-only image (no biases) on the same grid —
+    /// the reference for EPE measurement.
+    std::vector<double> rasterize_targets(const std::vector<MaskFeature>& features) const;
+
+  private:
+    int width_ = 0, height_ = 0;
+    double nm_per_pixel_ = 1;
+    Point origin_;
+    std::vector<double> data_;
+
+    std::size_t index(int x, int y) const {
+        return static_cast<std::size_t>(y) * width_ + x;
+    }
+    void fill_rect(std::vector<double>& img, const Rect& r) const;
+};
+
+}  // namespace janus

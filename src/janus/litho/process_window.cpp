@@ -1,0 +1,30 @@
+#include "janus/litho/process_window.hpp"
+
+#include <algorithm>
+
+namespace janus {
+
+ProcessWindowResult analyze_process_window(const std::vector<MaskFeature>& features,
+                                           const OpticalModel& nominal,
+                                           const ProcessWindowOptions& opts) {
+    ProcessWindowResult res;
+    for (const double ss : opts.sigma_scales) {
+        for (const double ts : opts.threshold_shifts) {
+            OpticalModel corner = nominal;
+            corner.psf_scale = nominal.psf_scale * ss;
+            corner.resist_threshold = nominal.resist_threshold + ts;
+            const EpeReport rep =
+                check_print(features, corner, opts.nm_per_pixel);
+            ++res.corners_total;
+            const bool pass = !rep.feature_lost &&
+                              rep.area_error <= opts.max_area_error;
+            if (pass) ++res.corners_passing;
+            res.worst_area_error = std::max(res.worst_area_error, rep.area_error);
+            res.any_feature_lost |= rep.feature_lost;
+            res.corner_errors.emplace_back(ss, ts, rep.area_error);
+        }
+    }
+    return res;
+}
+
+}  // namespace janus

@@ -1,0 +1,49 @@
+#pragma once
+/// \file process_window.hpp
+/// Process-window analysis: the printed contour must stay on target not
+/// only at nominal focus/dose, but across the scanner's variation band.
+/// OPC solutions that only work at nominal are "process-window-limited";
+/// this module sweeps the optical corner conditions and reports the
+/// window inside which EPE stays bounded.
+
+#include <tuple>
+#include <vector>
+
+#include "janus/litho/opc.hpp"
+
+namespace janus {
+
+struct ProcessCorner {
+    double sigma_scale = 1.0;      ///< defocus proxy (PSF widening)
+    double threshold_shift = 0.0;  ///< dose proxy (resist threshold delta)
+};
+
+struct ProcessWindowOptions {
+    /// Defocus proxies to sweep (1.0 = nominal).
+    std::vector<double> sigma_scales{0.9, 1.0, 1.1, 1.2};
+    /// Dose proxies to sweep.
+    std::vector<double> threshold_shifts{-0.05, 0.0, 0.05};
+    double max_area_error = 0.25;  ///< pass criterion per corner
+    double nm_per_pixel = 2.0;
+};
+
+struct ProcessWindowResult {
+    std::size_t corners_total = 0;
+    std::size_t corners_passing = 0;
+    double worst_area_error = 0;
+    bool any_feature_lost = false;
+    /// Per-corner (sigma_scale, threshold_shift, area_error).
+    std::vector<std::tuple<double, double, double>> corner_errors;
+    double yield_fraction() const {
+        return corners_total
+                   ? static_cast<double>(corners_passing) / corners_total
+                   : 0;
+    }
+};
+
+/// Sweeps the corner grid for a fixed (already OPC'd) mask.
+ProcessWindowResult analyze_process_window(const std::vector<MaskFeature>& features,
+                                           const OpticalModel& nominal,
+                                           const ProcessWindowOptions& opts = {});
+
+}  // namespace janus

@@ -1,0 +1,279 @@
+#include "janus/logic/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+std::uint64_t strash_key(AigLit a, AigLit b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Aig::Aig() {
+    // Node 0: constant false.
+    fanin0_.push_back(0);
+    fanin1_.push_back(0);
+}
+
+AigLit Aig::add_input(std::string name) {
+    const auto node = static_cast<std::uint32_t>(fanin0_.size());
+    fanin0_.push_back(kInputMark);
+    fanin1_.push_back(kInputMark);
+    inputs_.push_back(node);
+    input_names_.push_back(name.empty() ? "i" + std::to_string(inputs_.size() - 1)
+                                        : std::move(name));
+    return aig_lit(node, false);
+}
+
+std::uint32_t Aig::new_and_node(AigLit a, AigLit b) {
+    const auto node = static_cast<std::uint32_t>(fanin0_.size());
+    fanin0_.push_back(a);
+    fanin1_.push_back(b);
+    return node;
+}
+
+AigLit Aig::land(AigLit a, AigLit b) {
+    assert(aig_node(a) < fanin0_.size() && aig_node(b) < fanin0_.size());
+    // Normalization and trivial rules.
+    if (a > b) std::swap(a, b);
+    if (a == const0()) return const0();
+    if (a == const1()) return b;
+    if (a == b) return a;
+    if (a == aig_not(b)) return const0();
+    const std::uint64_t key = strash_key(a, b);
+    if (const auto it = strash_.find(key); it != strash_.end()) {
+        return aig_lit(it->second, false);
+    }
+    const std::uint32_t node = new_and_node(a, b);
+    strash_.emplace(key, node);
+    return aig_lit(node, false);
+}
+
+AigLit Aig::lxor(AigLit a, AigLit b) {
+    // a ^ b = !(!(a & !b) & !(!a & b))
+    return aig_not(land(aig_not(land(a, aig_not(b))), aig_not(land(aig_not(a), b))));
+}
+
+AigLit Aig::lmux(AigLit sel, AigLit a, AigLit b) {
+    // sel ? b : a
+    return aig_not(land(aig_not(land(sel, b)), aig_not(land(aig_not(sel), a))));
+}
+
+AigLit Aig::lmaj(AigLit a, AigLit b, AigLit c) {
+    return lor(land(a, b), lor(land(a, c), land(b, c)));
+}
+
+void Aig::add_output(std::string name, AigLit lit) {
+    assert(aig_node(lit) < fanin0_.size());
+    outputs_.emplace_back(std::move(name), lit);
+}
+
+std::size_t Aig::num_ands() const {
+    return fanin0_.size() - 1 - inputs_.size();
+}
+
+bool Aig::is_and(std::uint32_t node) const {
+    return node != 0 && fanin0_.at(node) != kInputMark;
+}
+
+bool Aig::is_input(std::uint32_t node) const {
+    return node != 0 && fanin0_.at(node) == kInputMark;
+}
+
+std::vector<int> Aig::levels() const {
+    std::vector<int> lvl(fanin0_.size(), 0);
+    for (std::uint32_t n = 1; n < fanin0_.size(); ++n) {
+        if (!is_and(n)) continue;
+        // Construction order is topological: fanins have lower indices.
+        lvl[n] = 1 + std::max(lvl[aig_node(fanin0_[n])], lvl[aig_node(fanin1_[n])]);
+    }
+    return lvl;
+}
+
+int Aig::depth() const {
+    const auto lvl = levels();
+    int d = 0;
+    for (const auto& [name, lit] : outputs_) {
+        (void)name;
+        d = std::max(d, lvl[aig_node(lit)]);
+    }
+    return d;
+}
+
+std::vector<std::uint32_t> Aig::fanout_counts() const {
+    std::vector<std::uint32_t> fo(fanin0_.size(), 0);
+    for (std::uint32_t n = 1; n < fanin0_.size(); ++n) {
+        if (!is_and(n)) continue;
+        ++fo[aig_node(fanin0_[n])];
+        ++fo[aig_node(fanin1_[n])];
+    }
+    for (const auto& [name, lit] : outputs_) {
+        (void)name;
+        ++fo[aig_node(lit)];
+    }
+    return fo;
+}
+
+std::vector<std::uint32_t> Aig::topological_order() const {
+    // Nodes are created fanins-first, so index order is topological.
+    std::vector<std::uint32_t> order(fanin0_.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    return order;
+}
+
+std::vector<bool> Aig::simulate(const std::vector<bool>& input_values) const {
+    if (input_values.size() != inputs_.size()) {
+        throw std::invalid_argument("Aig::simulate: input count mismatch");
+    }
+    std::vector<bool> value(fanin0_.size(), false);
+    for (std::size_t i = 0; i < inputs_.size(); ++i) value[inputs_[i]] = input_values[i];
+    for (std::uint32_t n = 1; n < fanin0_.size(); ++n) {
+        if (!is_and(n)) continue;
+        const bool a = value[aig_node(fanin0_[n])] != aig_is_complement(fanin0_[n]);
+        const bool b = value[aig_node(fanin1_[n])] != aig_is_complement(fanin1_[n]);
+        value[n] = a && b;
+    }
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (const auto& [name, lit] : outputs_) {
+        (void)name;
+        out.push_back(value[aig_node(lit)] != aig_is_complement(lit));
+    }
+    return out;
+}
+
+std::vector<TruthTable> Aig::output_truth_tables() const {
+    const int n = static_cast<int>(inputs_.size());
+    if (n > 16) {
+        throw std::invalid_argument("Aig::output_truth_tables: too many inputs");
+    }
+    std::vector<TruthTable> tt(fanin0_.size(), TruthTable(n));
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        tt[inputs_[i]] = TruthTable::variable(n, static_cast<int>(i));
+    }
+    for (std::uint32_t node = 1; node < fanin0_.size(); ++node) {
+        if (!is_and(node)) continue;
+        const TruthTable a = aig_is_complement(fanin0_[node])
+                                 ? ~tt[aig_node(fanin0_[node])]
+                                 : tt[aig_node(fanin0_[node])];
+        const TruthTable b = aig_is_complement(fanin1_[node])
+                                 ? ~tt[aig_node(fanin1_[node])]
+                                 : tt[aig_node(fanin1_[node])];
+        tt[node] = a & b;
+    }
+    std::vector<TruthTable> out;
+    out.reserve(outputs_.size());
+    for (const auto& [name, lit] : outputs_) {
+        (void)name;
+        out.push_back(aig_is_complement(lit) ? ~tt[aig_node(lit)] : tt[aig_node(lit)]);
+    }
+    return out;
+}
+
+Aig Aig::cleanup() const {
+    Aig fresh;
+    std::vector<AigLit> remap(fanin0_.size(), 0);
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        remap[inputs_[i]] = fresh.add_input(input_names_[i]);
+    }
+    // Mark live nodes (reachable from outputs).
+    std::vector<bool> live(fanin0_.size(), false);
+    std::vector<std::uint32_t> stack;
+    for (const auto& [name, lit] : outputs_) {
+        (void)name;
+        stack.push_back(aig_node(lit));
+    }
+    while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        stack.pop_back();
+        if (live[n]) continue;
+        live[n] = true;
+        if (is_and(n)) {
+            stack.push_back(aig_node(fanin0_[n]));
+            stack.push_back(aig_node(fanin1_[n]));
+        }
+    }
+    for (std::uint32_t n = 1; n < fanin0_.size(); ++n) {
+        if (!live[n] || !is_and(n)) continue;
+        const AigLit a = remap[aig_node(fanin0_[n])] ^ (fanin0_[n] & 1u);
+        const AigLit b = remap[aig_node(fanin1_[n])] ^ (fanin1_[n] & 1u);
+        remap[n] = fresh.land(a, b);
+    }
+    for (const auto& [name, lit] : outputs_) {
+        fresh.add_output(name, remap[aig_node(lit)] ^ (lit & 1u));
+    }
+    return fresh;
+}
+
+Aig Aig::from_netlist(const Netlist& nl) {
+    if (!nl.sequential_instances().empty()) {
+        throw std::invalid_argument("Aig::from_netlist: sequential netlist");
+    }
+    Aig aig;
+    std::vector<AigLit> net_lit(nl.num_nets(), 0);
+    for (const NetId pi : nl.primary_inputs()) {
+        net_lit[pi] = aig.add_input(nl.net(pi).name);
+    }
+    for (const InstId i : nl.topological_order()) {
+        const Instance& inst = nl.instance(i);
+        const CellFunction fn = nl.type_of(i).function;
+        const auto in = [&](int p) { return net_lit[inst.fanin[static_cast<std::size_t>(p)]]; };
+        AigLit y = 0;
+        switch (fn) {
+            case CellFunction::Const0: y = const0(); break;
+            case CellFunction::Const1: y = const1(); break;
+            case CellFunction::Buf: y = in(0); break;
+            case CellFunction::Inv: y = aig_not(in(0)); break;
+            case CellFunction::And2: y = aig.land(in(0), in(1)); break;
+            case CellFunction::And3: y = aig.land(aig.land(in(0), in(1)), in(2)); break;
+            case CellFunction::And4:
+                y = aig.land(aig.land(in(0), in(1)), aig.land(in(2), in(3)));
+                break;
+            case CellFunction::Nand2: y = aig_not(aig.land(in(0), in(1))); break;
+            case CellFunction::Nand3:
+                y = aig_not(aig.land(aig.land(in(0), in(1)), in(2)));
+                break;
+            case CellFunction::Nand4:
+                y = aig_not(aig.land(aig.land(in(0), in(1)), aig.land(in(2), in(3))));
+                break;
+            case CellFunction::Or2: y = aig.lor(in(0), in(1)); break;
+            case CellFunction::Or3: y = aig.lor(aig.lor(in(0), in(1)), in(2)); break;
+            case CellFunction::Or4:
+                y = aig.lor(aig.lor(in(0), in(1)), aig.lor(in(2), in(3)));
+                break;
+            case CellFunction::Nor2: y = aig_not(aig.lor(in(0), in(1))); break;
+            case CellFunction::Nor3:
+                y = aig_not(aig.lor(aig.lor(in(0), in(1)), in(2)));
+                break;
+            case CellFunction::Nor4:
+                y = aig_not(aig.lor(aig.lor(in(0), in(1)), aig.lor(in(2), in(3))));
+                break;
+            case CellFunction::Xor2: y = aig.lxor(in(0), in(1)); break;
+            case CellFunction::Xnor2: y = aig_not(aig.lxor(in(0), in(1))); break;
+            case CellFunction::Xor3: y = aig.lxor(aig.lxor(in(0), in(1)), in(2)); break;
+            case CellFunction::Mux2: y = aig.lmux(in(0), in(1), in(2)); break;
+            case CellFunction::Aoi21:
+                y = aig_not(aig.lor(aig.land(in(0), in(1)), in(2)));
+                break;
+            case CellFunction::Oai21:
+                y = aig_not(aig.land(aig.lor(in(0), in(1)), in(2)));
+                break;
+            case CellFunction::Maj3: y = aig.lmaj(in(0), in(1), in(2)); break;
+            case CellFunction::Dff:
+            case CellFunction::ScanDff:
+                throw std::logic_error("from_netlist: unexpected flop");
+        }
+        net_lit[inst.output] = y;
+    }
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        aig.add_output(name, net_lit[net]);
+    }
+    return aig;
+}
+
+}  // namespace janus

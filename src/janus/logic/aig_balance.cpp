@@ -1,0 +1,79 @@
+#include "janus/logic/aig_balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace janus {
+namespace {
+
+/// Collects the leaves of the maximal single-fanout AND tree rooted at
+/// `node` (in the old AIG). Fanins that are complemented, inputs, or
+/// shared (fanout > 1) stop the expansion.
+void collect_and_leaves(const Aig& aig, const std::vector<std::uint32_t>& fanout,
+                        AigLit lit, std::vector<AigLit>& leaves) {
+    const std::uint32_t n = aig_node(lit);
+    if (aig_is_complement(lit) || !aig.is_and(n) || fanout[n] > 1) {
+        leaves.push_back(lit);
+        return;
+    }
+    collect_and_leaves(aig, fanout, aig.fanin0(n), leaves);
+    collect_and_leaves(aig, fanout, aig.fanin1(n), leaves);
+}
+
+}  // namespace
+
+Aig balance(const Aig& aig) {
+    Aig out;
+    const auto fanout = aig.fanout_counts();
+    std::vector<AigLit> remap(aig.num_nodes(), 0);
+    std::vector<int> new_level(aig.num_nodes() * 4 + 8, 0);  // grown on demand
+
+    for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+        const AigLit nl = out.add_input(aig.input_name(i));
+        remap[aig_node(aig.input(i))] = nl;
+    }
+
+    const auto level_of = [&](AigLit lit) {
+        const std::uint32_t n = aig_node(lit);
+        return n < new_level.size() ? new_level[n] : 0;
+    };
+    const auto set_level = [&](AigLit lit, int lvl) {
+        const std::uint32_t n = aig_node(lit);
+        if (n >= new_level.size()) new_level.resize(n + 1, 0);
+        new_level[static_cast<std::size_t>(n)] = lvl;
+    };
+
+    for (const std::uint32_t n : aig.topological_order()) {
+        if (!aig.is_and(n)) continue;
+        // Gather the maximal AND tree in the old graph; translate leaves.
+        std::vector<AigLit> old_leaves;
+        collect_and_leaves(aig, fanout, aig.fanin0(n), old_leaves);
+        collect_and_leaves(aig, fanout, aig.fanin1(n), old_leaves);
+
+        // Min-heap on new levels: combine the two shallowest repeatedly.
+        using Entry = std::pair<int, AigLit>;  // (level, literal)
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+        for (const AigLit l : old_leaves) {
+            const AigLit mapped = remap[aig_node(l)] ^ (l & 1u);
+            heap.emplace(level_of(mapped), mapped);
+        }
+        while (heap.size() > 1) {
+            const auto [la, a] = heap.top();
+            heap.pop();
+            const auto [lb, b] = heap.top();
+            heap.pop();
+            const AigLit c = out.land(a, b);
+            set_level(c, std::max(la, lb) + 1);
+            heap.emplace(level_of(c), c);
+        }
+        remap[n] = heap.top().second;
+    }
+
+    for (const auto& [name, lit] : aig.outputs()) {
+        out.add_output(name, remap[aig_node(lit)] ^ (lit & 1u));
+    }
+    return out.cleanup();
+}
+
+}  // namespace janus

@@ -1,0 +1,17 @@
+#pragma once
+/// \file aig_balance.hpp
+/// Depth reduction by AND-tree rebalancing (the classic `balance` pass):
+/// maximal conjunction trees are collected and rebuilt pairing the
+/// shallowest operands first.
+
+#include "janus/logic/aig.hpp"
+
+namespace janus {
+
+/// Returns a depth-balanced, structurally rehashed copy. The function of
+/// every output is preserved; node count never grows by more than the
+/// duplication needed for sharing-aware tree collection (in practice it
+/// shrinks or stays equal).
+Aig balance(const Aig& aig);
+
+}  // namespace janus

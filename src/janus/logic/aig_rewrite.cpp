@@ -1,0 +1,162 @@
+#include "janus/logic/aig_rewrite.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "janus/logic/aig_balance.hpp"
+#include "janus/logic/cut_enum.hpp"
+#include "janus/logic/espresso.hpp"
+
+namespace janus {
+namespace {
+
+/// Builds a minimized SOP of `tt` into `aig` over the given leaf literals.
+/// Returns the output literal.
+AigLit build_sop(Aig& aig, const TruthTable& tt, const std::vector<AigLit>& leaves) {
+    if (tt.is_constant(false)) return Aig::const0();
+    if (tt.is_constant(true)) return Aig::const1();
+    // Minimize both polarities and build the cheaper one.
+    const Cover on = espresso(Cover::from_truth_table(tt)).cover;
+    const Cover off = espresso(Cover::from_truth_table(~tt)).cover;
+    const bool use_off = off.size() * 4 + static_cast<std::size_t>(off.num_literals()) <
+                         on.size() * 4 + static_cast<std::size_t>(on.num_literals());
+    const Cover& cov = use_off ? off : on;
+
+    AigLit result = Aig::const0();
+    bool first = true;
+    for (const Cube& c : cov.cubes()) {
+        AigLit prod = Aig::const1();
+        for (int v = 0; v < c.num_vars(); ++v) {
+            const Literal l = c.get(v);
+            if (l == Literal::DC) continue;
+            const AigLit leaf = leaves[static_cast<std::size_t>(v)];
+            prod = aig.land(prod, l == Literal::Pos ? leaf : aig_not(leaf));
+        }
+        result = first ? prod : aig.lor(result, prod);
+        first = false;
+    }
+    return use_off ? aig_not(result) : result;
+}
+
+}  // namespace
+
+std::vector<int> mffc_sizes(const Aig& aig) {
+    std::vector<int> mffc(aig.num_nodes(), 0);
+    const auto base_refs = aig.fanout_counts();
+    for (const std::uint32_t n : aig.topological_order()) {
+        if (!aig.is_and(n)) continue;
+        // Trial dereference of n's cone on a scratch refcount copy.
+        auto refs = base_refs;
+        std::function<int(std::uint32_t)> deref = [&](std::uint32_t node) -> int {
+            int size = 1;
+            for (const AigLit f : {aig.fanin0(node), aig.fanin1(node)}) {
+                const std::uint32_t fn = aig_node(f);
+                if (!aig.is_and(fn)) continue;
+                if (--refs[fn] == 0) size += deref(fn);
+            }
+            return size;
+        };
+        mffc[n] = deref(n);
+    }
+    return mffc;
+}
+
+Aig refactor(const Aig& aig, const RewriteOptions& opts, RewriteStats* stats) {
+    CutEnumOptions ce;
+    ce.max_leaves = opts.cut_size;
+    ce.max_cuts_per_node = opts.max_cuts_per_node;
+    const CutSet cuts = enumerate_cuts(aig, ce);
+    const std::vector<int> mffc = mffc_sizes(aig);
+
+    Aig out;
+    std::vector<AigLit> remap(aig.num_nodes(), 0);
+    for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+        remap[aig_node(aig.input(i))] = out.add_input(aig.input_name(i));
+    }
+
+    int replacements = 0;
+    for (const std::uint32_t n : aig.topological_order()) {
+        if (!aig.is_and(n)) continue;
+        // Default: direct copy.
+        const AigLit direct =
+            out.land(remap[aig_node(aig.fanin0(n))] ^ (aig.fanin0(n) & 1u),
+                     remap[aig_node(aig.fanin1(n))] ^ (aig.fanin1(n) & 1u));
+        remap[n] = direct;
+
+        // Try SOP refactorings of non-trivial cuts; keep the best that
+        // beats the MFFC cost.
+        AigLit best = direct;
+        // Gain of the direct copy is zero by definition; a candidate must
+        // add fewer nodes than the MFFC it releases.
+        int best_gain = opts.zero_cost ? -1 : 0;
+        for (const Cut& cut : cuts.cuts[n]) {
+            if (cut.trivial()) continue;
+            const TruthTable tt = cut_truth_table(aig, n, cut);
+            std::vector<AigLit> leaves;
+            leaves.reserve(cut.leaves.size());
+            bool leaves_ok = true;
+            for (const std::uint32_t l : cut.leaves) {
+                // A leaf must already be mapped (true for topo order).
+                if (l >= remap.size()) {
+                    leaves_ok = false;
+                    break;
+                }
+                leaves.push_back(remap[l]);
+            }
+            if (!leaves_ok) continue;
+            const std::size_t before = out.num_nodes();
+            const AigLit cand = build_sop(out, tt, leaves);
+            // Rebuilding the node's own structure (strash hit on the direct
+            // copy) releases nothing — it must not claim the MFFC gain.
+            if (cand == direct) continue;
+            const int added = static_cast<int>(out.num_nodes() - before);
+            const int gain = mffc[n] - added;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = cand;
+            }
+        }
+        if (best != direct) {
+            remap[n] = best;
+            ++replacements;
+        }
+    }
+
+    for (const auto& [name, lit] : aig.outputs()) {
+        out.add_output(name, remap[aig_node(lit)] ^ (lit & 1u));
+    }
+    Aig cleaned = out.cleanup();
+    if (stats) {
+        stats->nodes_before = aig.num_ands();
+        stats->nodes_after = cleaned.num_ands();
+        stats->replacements = replacements;
+    }
+    return cleaned;
+}
+
+Aig optimize(const Aig& aig, int rounds) {
+    const auto better = [](const Aig& a, const Aig& b) {
+        return a.num_ands() < b.num_ands() ||
+               (a.num_ands() == b.num_ands() && a.depth() < b.depth());
+    };
+    Aig best = aig.cleanup();
+    for (int r = 0; r < rounds; ++r) {
+        bool improved = false;
+        // Balance is size-neutral and depth-reducing: keep it whenever it
+        // helps, independently of the refactoring step.
+        Aig balanced = balance(best);
+        if (better(balanced, best)) {
+            best = std::move(balanced);
+            improved = true;
+        }
+        Aig candidate = balance(refactor(best));
+        if (better(candidate, best)) {
+            best = std::move(candidate);
+            improved = true;
+        }
+        if (!improved) break;
+    }
+    return best;
+}
+
+}  // namespace janus

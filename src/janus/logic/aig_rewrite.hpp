@@ -1,0 +1,37 @@
+#pragma once
+/// \file aig_rewrite.hpp
+/// Cut-based refactoring: each node's cut function is re-synthesized from
+/// a minimized SOP (via the Espresso engine) and the replacement is kept
+/// when it uses fewer AND nodes than the node's maximum fanout-free cone.
+/// Combined with balancing this is the JanusEDA equivalent of the
+/// synthesis-quality gains the panel credits to the last EDA decade (E1).
+
+#include "janus/logic/aig.hpp"
+
+namespace janus {
+
+struct RewriteOptions {
+    int cut_size = 5;          ///< leaves per refactoring cut
+    int max_cuts_per_node = 6;
+    bool zero_cost = false;    ///< also accept size-neutral replacements
+};
+
+struct RewriteStats {
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    int replacements = 0;
+};
+
+/// One bottom-up refactoring pass; returns the rewritten (cleaned) AIG.
+Aig refactor(const Aig& aig, const RewriteOptions& opts = {},
+             RewriteStats* stats = nullptr);
+
+/// Full optimization script: iterated balance + refactor until the node
+/// count stops improving (at most `rounds` rounds).
+Aig optimize(const Aig& aig, int rounds = 4);
+
+/// Size of each node's maximum fanout-free cone (number of AND nodes that
+/// become dead if the node is removed), indexed by node id.
+std::vector<int> mffc_sizes(const Aig& aig);
+
+}  // namespace janus

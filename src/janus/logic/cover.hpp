@@ -1,0 +1,73 @@
+#pragma once
+/// \file cover.hpp
+/// Covers (sets of cubes, interpreted as a sum of products) and the
+/// classical cover algebra: cofactor, tautology, complement, containment.
+/// These are the primitives under the Espresso loop in espresso.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/logic/cube.hpp"
+#include "janus/logic/truth_table.hpp"
+
+namespace janus {
+
+class Cover {
+  public:
+    explicit Cover(int num_vars = 0) : num_vars_(num_vars) {}
+    Cover(int num_vars, std::vector<Cube> cubes);
+
+    int num_vars() const { return num_vars_; }
+    const std::vector<Cube>& cubes() const { return cubes_; }
+    std::size_t size() const { return cubes_.size(); }
+    bool empty() const { return cubes_.empty(); }
+
+    /// Appends a cube (ignored if it is the empty set).
+    void add(const Cube& c);
+
+    /// Total literal count (the classic PLA cost function).
+    int num_literals() const;
+
+    /// True if the minterm is covered by some cube.
+    bool covers_minterm(std::uint64_t assignment) const;
+
+    /// Cofactor with respect to variable `var` = `value` (Shannon). The
+    /// result is over the same variable space with `var` made DC.
+    Cover cofactor(int var, bool value) const;
+
+    /// Cofactor with respect to a cube (used by containment checks):
+    /// cubes disjoint from `c` are dropped, and variables fixed in `c`
+    /// become DC in the survivors.
+    Cover cofactor(const Cube& c) const;
+
+    /// True iff the cover equals the constant-1 function (Shannon
+    /// recursion with unate shortcuts).
+    bool is_tautology() const;
+
+    /// Complement as a cover (recursive Shannon expansion). Exact; output
+    /// is made single-cube-containment minimal.
+    Cover complement() const;
+
+    /// True iff cube `c` is contained in this cover (cofactor + tautology).
+    bool contains_cube(const Cube& c) const;
+
+    /// Removes cubes contained in another single cube of the cover.
+    void remove_single_cube_containment();
+
+    /// Exhaustive conversion to a truth table; requires num_vars <= 16.
+    /// Intended for verification in tests.
+    TruthTable to_truth_table() const;
+
+    /// Builds the cover of all ON-set minterms of a truth table (one cube
+    /// per minterm; callers usually minimize afterwards).
+    static Cover from_truth_table(const TruthTable& tt);
+
+  private:
+    int num_vars_;
+    std::vector<Cube> cubes_;
+
+    /// Chooses the most-binate variable, or -1 when the cover is unate.
+    int most_binate_var() const;
+};
+
+}  // namespace janus

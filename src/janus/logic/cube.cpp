@@ -1,0 +1,147 @@
+#include "janus/logic/cube.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+constexpr int kVarsPerWord = 32;
+
+std::size_t word_of(int var) { return static_cast<std::size_t>(var) / kVarsPerWord; }
+int shift_of(int var) { return (var % kVarsPerWord) * 2; }
+
+}  // namespace
+
+Cube::Cube(int num_vars) : num_vars_(num_vars) {
+    if (num_vars < 0) throw std::invalid_argument("Cube: negative num_vars");
+    bits_.assign((static_cast<std::size_t>(num_vars) + kVarsPerWord - 1) / kVarsPerWord,
+                 ~0ull);
+    // Clear the unused tail so equality works word-wise.
+    if (num_vars % kVarsPerWord != 0 && !bits_.empty()) {
+        const int used = (num_vars % kVarsPerWord) * 2;
+        bits_.back() &= (used == 64) ? ~0ull : ((1ull << used) - 1);
+    }
+    if (num_vars == 0) bits_.clear();
+}
+
+Cube Cube::from_string(const std::string& s) {
+    Cube c(static_cast<int>(s.size()));
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        switch (s[i]) {
+            case '0': c.set(static_cast<int>(i), Literal::Neg); break;
+            case '1': c.set(static_cast<int>(i), Literal::Pos); break;
+            case '-': c.set(static_cast<int>(i), Literal::DC); break;
+            default: throw std::invalid_argument("Cube::from_string: bad char");
+        }
+    }
+    return c;
+}
+
+Literal Cube::get(int var) const {
+    assert(var >= 0 && var < num_vars_);
+    return static_cast<Literal>((bits_[word_of(var)] >> shift_of(var)) & 0b11);
+}
+
+void Cube::set(int var, Literal lit) {
+    assert(var >= 0 && var < num_vars_);
+    auto& w = bits_[word_of(var)];
+    w &= ~(0b11ull << shift_of(var));
+    w |= static_cast<std::uint64_t>(lit) << shift_of(var);
+}
+
+bool Cube::is_empty() const {
+    for (int v = 0; v < num_vars_; ++v) {
+        if (get(v) == Literal::Empty) return true;
+    }
+    return false;
+}
+
+bool Cube::is_full() const {
+    for (int v = 0; v < num_vars_; ++v) {
+        if (get(v) != Literal::DC) return false;
+    }
+    return true;
+}
+
+int Cube::num_literals() const {
+    int n = 0;
+    for (int v = 0; v < num_vars_; ++v) {
+        const Literal l = get(v);
+        if (l == Literal::Pos || l == Literal::Neg) ++n;
+    }
+    return n;
+}
+
+bool Cube::contains(const Cube& other) const {
+    assert(num_vars_ == other.num_vars_);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+        if ((bits_[i] | other.bits_[i]) != bits_[i]) return false;
+    }
+    return true;
+}
+
+int Cube::distance(const Cube& other) const {
+    assert(num_vars_ == other.num_vars_);
+    int d = 0;
+    for (int v = 0; v < num_vars_; ++v) {
+        const auto a = static_cast<unsigned>(get(v));
+        const auto b = static_cast<unsigned>(other.get(v));
+        if ((a & b) == 0) ++d;
+    }
+    return d;
+}
+
+std::optional<Cube> Cube::intersect(const Cube& other) const {
+    assert(num_vars_ == other.num_vars_);
+    Cube r(num_vars_);
+    for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = bits_[i] & other.bits_[i];
+    if (r.is_empty()) return std::nullopt;
+    return r;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+    assert(num_vars_ == other.num_vars_);
+    Cube r(num_vars_);
+    for (std::size_t i = 0; i < bits_.size(); ++i) r.bits_[i] = bits_[i] | other.bits_[i];
+    return r;
+}
+
+std::optional<Cube> Cube::consensus(const Cube& other) const {
+    if (distance(other) != 1) return std::nullopt;
+    Cube r(num_vars_);
+    for (int v = 0; v < num_vars_; ++v) {
+        const auto a = static_cast<unsigned>(get(v));
+        const auto b = static_cast<unsigned>(other.get(v));
+        const unsigned meet = a & b;
+        r.set(v, meet == 0 ? Literal::DC : static_cast<Literal>(meet));
+    }
+    return r;
+}
+
+bool Cube::covers_minterm(std::uint64_t assignment) const {
+    for (int v = 0; v < num_vars_; ++v) {
+        const Literal l = get(v);
+        const bool bit = (assignment >> v) & 1;
+        if (l == Literal::Empty) return false;
+        if (l == Literal::Pos && !bit) return false;
+        if (l == Literal::Neg && bit) return false;
+    }
+    return true;
+}
+
+std::string Cube::to_string() const {
+    std::string s;
+    s.reserve(static_cast<std::size_t>(num_vars_));
+    for (int v = 0; v < num_vars_; ++v) {
+        switch (get(v)) {
+            case Literal::Neg: s.push_back('0'); break;
+            case Literal::Pos: s.push_back('1'); break;
+            case Literal::DC: s.push_back('-'); break;
+            case Literal::Empty: s.push_back('x'); break;
+        }
+    }
+    return s;
+}
+
+}  // namespace janus

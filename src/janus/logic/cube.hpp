@@ -1,0 +1,66 @@
+#pragma once
+/// \file cube.hpp
+/// Cubes in positional notation for two-level (SOP) minimization — the
+/// Espresso/MIS lineage the panel names as the first wave of EDA.
+///
+/// Each variable occupies two bits: 01 = negative literal (!x),
+/// 10 = positive literal (x), 11 = don't care, 00 = empty (no value of the
+/// variable satisfies the cube; the whole cube denotes the empty set).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// Per-variable state of a cube.
+enum class Literal : std::uint8_t { Empty = 0b00, Neg = 0b01, Pos = 0b10, DC = 0b11 };
+
+class Cube {
+  public:
+    /// The full cube (all variables don't-care) over n variables.
+    explicit Cube(int num_vars = 0);
+
+    /// Parses "1-0" style strings: '1' positive, '0' negative, '-' DC.
+    static Cube from_string(const std::string& s);
+
+    int num_vars() const { return num_vars_; }
+    Literal get(int var) const;
+    void set(int var, Literal lit);
+
+    /// True if some variable is Empty (cube denotes the empty set).
+    bool is_empty() const;
+    /// True if all variables are DC (cube covers every minterm).
+    bool is_full() const;
+    /// Number of non-DC literal positions.
+    int num_literals() const;
+
+    /// Set containment: every minterm of `other` is in *this.
+    bool contains(const Cube& other) const;
+    /// Number of variables on which the two cubes have disjoint parts
+    /// (distance 0 = they intersect; 1 = consensus exists).
+    int distance(const Cube& other) const;
+    /// Set intersection; nullopt when disjoint.
+    std::optional<Cube> intersect(const Cube& other) const;
+    /// Smallest cube containing both (bitwise union per variable).
+    Cube supercube(const Cube& other) const;
+    /// Consensus on the unique conflicting variable; nullopt unless
+    /// distance is exactly 1.
+    std::optional<Cube> consensus(const Cube& other) const;
+
+    /// True if the minterm (bit i of `assignment` = value of variable i)
+    /// lies inside the cube.
+    bool covers_minterm(std::uint64_t assignment) const;
+
+    /// "1-0" style string.
+    std::string to_string() const;
+
+    friend bool operator==(const Cube&, const Cube&) = default;
+
+  private:
+    int num_vars_;
+    std::vector<std::uint64_t> bits_;  // 32 variables per word
+};
+
+}  // namespace janus

@@ -1,0 +1,137 @@
+#include "janus/logic/cut_enum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace janus {
+namespace {
+
+std::uint64_t signature_of(const std::vector<std::uint32_t>& leaves) {
+    std::uint64_t s = 0;
+    for (const auto l : leaves) s |= (1ull << (l % 64));
+    return s;
+}
+
+/// a dominates b if a's leaves are a subset of b's (a is the better cut).
+bool dominates(const Cut& a, const Cut& b) {
+    if (a.leaves.size() > b.leaves.size()) return false;
+    if ((a.signature & ~b.signature) != 0) return false;
+    return std::includes(b.leaves.begin(), b.leaves.end(), a.leaves.begin(),
+                         a.leaves.end());
+}
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, int k,
+                  std::vector<std::uint32_t>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        std::uint32_t next;
+        if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+            next = a[i];
+            if (j < b.size() && b[j] == next) ++j;
+            ++i;
+        } else {
+            next = b[j];
+            ++j;
+        }
+        out.push_back(next);
+        if (static_cast<int>(out.size()) > k) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+CutSet enumerate_cuts(const Aig& aig, const CutEnumOptions& opts) {
+    CutSet cs;
+    cs.cuts.resize(aig.num_nodes());
+    std::vector<std::uint32_t> merged;
+    for (const std::uint32_t n : aig.topological_order()) {
+        auto& node_cuts = cs.cuts[n];
+        // Trivial cut first.
+        Cut triv;
+        triv.leaves = {n};
+        triv.signature = signature_of(triv.leaves);
+        node_cuts.push_back(triv);
+        if (!aig.is_and(n)) continue;
+
+        const std::uint32_t f0 = aig_node(aig.fanin0(n));
+        const std::uint32_t f1 = aig_node(aig.fanin1(n));
+        for (const Cut& c0 : cs.cuts[f0]) {
+            for (const Cut& c1 : cs.cuts[f1]) {
+                if (!merge_leaves(c0.leaves, c1.leaves, opts.max_leaves, merged)) {
+                    continue;
+                }
+                Cut cand;
+                cand.leaves = merged;
+                cand.signature = signature_of(cand.leaves);
+                // Dominance filtering against existing cuts.
+                bool dominated = false;
+                for (const Cut& ex : node_cuts) {
+                    if (!ex.trivial() && dominates(ex, cand)) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (dominated) continue;
+                std::erase_if(node_cuts, [&](const Cut& ex) {
+                    return !ex.trivial() && dominates(cand, ex);
+                });
+                if (static_cast<int>(node_cuts.size()) <= opts.max_cuts_per_node) {
+                    node_cuts.push_back(std::move(cand));
+                }
+            }
+        }
+    }
+    return cs;
+}
+
+TruthTable cut_truth_table(const Aig& aig, std::uint32_t root, const Cut& cut) {
+    const int k = static_cast<int>(cut.leaves.size());
+    if (k > 16) throw std::invalid_argument("cut_truth_table: cut too large");
+    // Local evaluation of the cone between leaves and root.
+    std::unordered_map<std::uint32_t, TruthTable> tt;
+    for (int i = 0; i < k; ++i) {
+        tt.emplace(cut.leaves[static_cast<std::size_t>(i)], TruthTable::variable(k, i));
+    }
+    // Recursive evaluation with an explicit stack.
+    std::vector<std::uint32_t> stack{root};
+    while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        if (tt.count(n)) {
+            stack.pop_back();
+            continue;
+        }
+        if (!aig.is_and(n)) {
+            // Constant node reached below the leaves.
+            if (n == 0) {
+                tt.emplace(n, TruthTable::constant(k, false));
+                stack.pop_back();
+                continue;
+            }
+            throw std::logic_error("cut_truth_table: leaf set does not cover cone");
+        }
+        const std::uint32_t f0 = aig_node(aig.fanin0(n));
+        const std::uint32_t f1 = aig_node(aig.fanin1(n));
+        const bool have0 = tt.count(f0) > 0;
+        const bool have1 = tt.count(f1) > 0;
+        if (have0 && have1) {
+            const TruthTable a =
+                aig_is_complement(aig.fanin0(n)) ? ~tt.at(f0) : tt.at(f0);
+            const TruthTable b =
+                aig_is_complement(aig.fanin1(n)) ? ~tt.at(f1) : tt.at(f1);
+            tt.emplace(n, a & b);
+            stack.pop_back();
+        } else {
+            if (!have0) stack.push_back(f0);
+            if (!have1) stack.push_back(f1);
+        }
+    }
+    return tt.at(root);
+}
+
+}  // namespace janus

@@ -1,0 +1,41 @@
+#pragma once
+/// \file cut_enum.hpp
+/// K-feasible cut enumeration on an AIG — the shared engine of the
+/// technology mapper and the rewriting pass.
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/logic/aig.hpp"
+#include "janus/logic/truth_table.hpp"
+
+namespace janus {
+
+/// One cut: a set of leaf nodes whose functions determine the root.
+struct Cut {
+    std::vector<std::uint32_t> leaves;  ///< sorted node indices
+    std::uint64_t signature = 0;        ///< bloom-style subset filter
+
+    bool trivial() const { return leaves.size() == 1; }
+};
+
+/// Per-node cut sets for a whole AIG.
+struct CutSet {
+    /// cuts[n] lists the cuts of node n; the first entry is always the
+    /// trivial cut {n}.
+    std::vector<std::vector<Cut>> cuts;
+};
+
+struct CutEnumOptions {
+    int max_leaves = 4;     ///< K
+    int max_cuts_per_node = 8;
+};
+
+/// Enumerates K-feasible cuts bottom-up with dominance pruning.
+CutSet enumerate_cuts(const Aig& aig, const CutEnumOptions& opts = {});
+
+/// Truth table of `root` as a function of cut leaves (leaf i of the
+/// sorted list is variable i). Cut size must be <= 16.
+TruthTable cut_truth_table(const Aig& aig, std::uint32_t root, const Cut& cut);
+
+}  // namespace janus

@@ -1,0 +1,168 @@
+#include "janus/logic/retime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "janus/timing/delay_model.hpp"
+
+namespace janus {
+namespace {
+
+/// Combinational arrival times under retimed edge weights; nullopt when a
+/// zero-weight cycle exists (period infeasible at any clock).
+std::optional<std::vector<double>> arrivals(const RetimeGraph& g,
+                                            const std::vector<int>& r) {
+    const std::size_t n = g.node_delay.size();
+    // Zero-weight adjacency and indegrees.
+    std::vector<std::vector<std::uint32_t>> out(n);
+    std::vector<int> indeg(n, 0);
+    for (const auto& e : g.edges) {
+        const int w = e.registers + r[e.to] - r[e.from];
+        if (w == 0) {
+            out[e.from].push_back(e.to);
+            ++indeg[e.to];
+        }
+    }
+    std::vector<double> delta(n, 0.0);
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < n; ++v) {
+        delta[v] = g.node_delay[v];
+        if (indeg[v] == 0) ready.push_back(v);
+    }
+    std::size_t processed = 0;
+    while (processed < ready.size()) {
+        const std::uint32_t u = ready[processed++];
+        for (const std::uint32_t v : out[u]) {
+            delta[v] = std::max(delta[v], delta[u] + g.node_delay[v]);
+            if (--indeg[v] == 0) ready.push_back(v);
+        }
+    }
+    if (processed != n) return std::nullopt;  // zero-weight cycle
+    return delta;
+}
+
+bool weights_legal(const RetimeGraph& g, const std::vector<int>& r) {
+    for (const auto& e : g.edges) {
+        if (e.registers + r[e.to] - r[e.from] < 0) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+double graph_period(const RetimeGraph& g) {
+    const std::vector<int> zero(g.node_delay.size(), 0);
+    const auto d = arrivals(g, zero);
+    if (!d) return std::numeric_limits<double>::infinity();
+    double p = 0;
+    for (const double v : *d) p = std::max(p, v);
+    return p;
+}
+
+RetimeResult retime_for_period(const RetimeGraph& g, double period) {
+    RetimeResult res;
+    const std::size_t n = g.node_delay.size();
+    res.labels.assign(n, 0);
+
+    // FEAS: repeat |V|-1 times; increment the label of every node whose
+    // combinational arrival exceeds the period. Host node 0 stays fixed.
+    for (std::size_t it = 0; it + 1 < n + 1; ++it) {
+        const auto delta = arrivals(g, res.labels);
+        if (!delta) return res;  // cycle: infeasible
+        bool violated = false;
+        for (std::uint32_t v = 1; v < n; ++v) {
+            if ((*delta)[v] > period + 1e-9) {
+                ++res.labels[v];
+                violated = true;
+            }
+        }
+        if (!violated) break;
+    }
+    const auto delta = arrivals(g, res.labels);
+    if (!delta || !weights_legal(g, res.labels)) return res;
+    for (const double v : *delta) {
+        if (v > period + 1e-9) return res;  // still violated: infeasible
+    }
+    res.feasible = true;
+    res.period = period;
+    res.total_registers = 0;
+    for (const auto& e : g.edges) {
+        res.total_registers += e.registers + res.labels[e.to] - res.labels[e.from];
+    }
+    return res;
+}
+
+RetimeResult min_period_retime(const RetimeGraph& g, double tolerance) {
+    double hi = graph_period(g);
+    if (!std::isfinite(hi)) return RetimeResult{};
+    double lo = 0;
+    for (const double d : g.node_delay) lo = std::max(lo, d);
+    RetimeResult best = retime_for_period(g, hi);
+    if (!best.feasible) return best;  // hi is always feasible (labels 0)
+    while (hi - lo > tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        const RetimeResult r = retime_for_period(g, mid);
+        if (r.feasible) {
+            best = r;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return best;
+}
+
+RetimeGraph build_retime_graph(const Netlist& nl) {
+    RetimeGraph g;
+    // Node 0 = host; combinational instances follow.
+    g.node_delay.push_back(0.0);
+    std::vector<std::uint32_t> node_of(nl.num_instances(), 0);
+    const WireModel wm;
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        if (is_sequential(nl.type_of(i).function)) continue;
+        node_of[i] = static_cast<std::uint32_t>(g.node_delay.size());
+        g.node_delay.push_back(instance_delay_ps(nl, i, wm));
+    }
+
+    // Resolve a net to (origin node, register count through flop chains).
+    const auto resolve = [&](NetId net) {
+        int regs = 0;
+        std::size_t guard = nl.num_instances() + 1;
+        NetId cur = net;
+        for (;;) {
+            const Net& nn = nl.net(cur);
+            if (nn.driver_kind != DriverKind::Instance) {
+                return std::pair<std::uint32_t, int>{0, regs};  // host (PI)
+            }
+            const InstId d = nn.driver_inst;
+            if (!is_sequential(nl.type_of(d).function)) {
+                return std::pair<std::uint32_t, int>{node_of[d], regs};
+            }
+            ++regs;
+            cur = nl.instance(d).fanin[0];  // through the flop's D
+            if (cur == kNoNet || --guard == 0) {
+                return std::pair<std::uint32_t, int>{0, regs};
+            }
+        }
+    };
+
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        if (is_sequential(nl.type_of(i).function)) continue;
+        const int arity = function_arity(nl.type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId net = nl.instance(i).fanin[static_cast<std::size_t>(p)];
+            if (net == kNoNet) continue;
+            const auto [src, w] = resolve(net);
+            g.edges.push_back({src, node_of[i], w});
+        }
+    }
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        (void)name;
+        const auto [src, w] = resolve(net);
+        g.edges.push_back({src, 0, w});
+    }
+    return g;
+}
+
+}  // namespace janus

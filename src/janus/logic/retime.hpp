@@ -1,0 +1,55 @@
+#pragma once
+/// \file retime.hpp
+/// Minimum-period retiming (Leiserson-Saxe) on a register-weighted
+/// dataflow graph. The flow keeps register boundaries fixed during
+/// synthesis; this module answers "what clock period could register
+/// moves achieve?" and produces the retiming labels that realize it.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// A retiming graph: nodes with combinational delays, directed edges with
+/// register counts.
+struct RetimeGraph {
+    std::vector<double> node_delay;
+    struct Edge {
+        std::uint32_t from = 0, to = 0;
+        int registers = 0;
+    };
+    std::vector<Edge> edges;
+    /// Node 0 is the host (environment) node with zero delay.
+};
+
+struct RetimeResult {
+    bool feasible = false;
+    double period = 0;
+    /// Retiming label per node: registers moved from outputs to inputs.
+    std::vector<int> labels;
+    /// Register count after retiming (sum over edges).
+    int total_registers = 0;
+};
+
+/// Tests whether `period` is achievable by retiming (Bellman-Ford on the
+/// period constraint graph); labels returned on success.
+RetimeResult retime_for_period(const RetimeGraph& g, double period);
+
+/// Minimum achievable period via binary search over retime_for_period,
+/// within `tolerance`.
+RetimeResult min_period_retime(const RetimeGraph& g, double tolerance = 1.0);
+
+/// Extracts the retiming graph of a sequential netlist: one node per
+/// combinational instance (delay = instance delay under the wire model),
+/// edges follow nets, flops become edge registers; primary I/O attach to
+/// the host node 0.
+RetimeGraph build_retime_graph(const Netlist& nl);
+
+/// Combinational critical path of the graph as-is (period without
+/// retiming) — the baseline the retimer improves on.
+double graph_period(const RetimeGraph& g);
+
+}  // namespace janus

@@ -1,0 +1,170 @@
+#include "janus/logic/sat.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace janus {
+
+std::uint32_t SatSolver::new_var() {
+    ++num_vars_;
+    model_.resize(num_vars_ + 1, 0);
+    return num_vars_;
+}
+
+void SatSolver::add_clause(std::vector<SatLit> clause) {
+    // Drop duplicate literals; a clause with l and !l is a tautology.
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    for (std::size_t i = 1; i < clause.size(); ++i) {
+        if (sat_var(clause[i]) == sat_var(clause[i - 1])) return;  // tautology
+    }
+    clauses_.push_back(std::move(clause));
+}
+
+SatSolver::Propagate SatSolver::propagate(std::vector<std::uint32_t>& trail) {
+    // Naive unit propagation to fixpoint (fine at mini-solver scale).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& clause : clauses_) {
+            std::size_t unassigned = 0;
+            SatLit unit = 0;
+            bool satisfied = false;
+            for (const SatLit l : clause) {
+                const signed char v = model_[sat_var(l)];
+                if (v == 0) {
+                    ++unassigned;
+                    unit = l;
+                } else if ((v > 0) != sat_neg(l)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (satisfied) continue;
+            if (unassigned == 0) return Propagate::Conflict;
+            if (unassigned == 1) {
+                model_[sat_var(unit)] = sat_neg(unit) ? -1 : 1;
+                trail.push_back(sat_var(unit));
+                changed = true;
+            }
+        }
+    }
+    return Propagate::Ok;
+}
+
+bool SatSolver::dpll(std::uint64_t budget) {
+    std::vector<std::uint32_t> trail;
+    if (propagate(trail) == Propagate::Conflict) {
+        for (const auto v : trail) model_[v] = 0;
+        return false;
+    }
+    // Pick the first unassigned variable.
+    std::uint32_t var = 0;
+    for (std::uint32_t v = 1; v <= num_vars_; ++v) {
+        if (model_[v] == 0) {
+            var = v;
+            break;
+        }
+    }
+    if (var == 0) return true;  // complete assignment
+    if (decisions_ >= budget) {
+        for (const auto v : trail) model_[v] = 0;
+        throw std::length_error("sat budget");
+    }
+    ++decisions_;
+    for (const signed char phase : {1, -1}) {
+        model_[var] = phase;
+        if (dpll(budget)) return true;
+        model_[var] = 0;
+    }
+    for (const auto v : trail) model_[v] = 0;
+    return false;
+}
+
+SatSolver::Result SatSolver::solve(std::uint64_t max_decisions) {
+    std::fill(model_.begin(), model_.end(), 0);
+    decisions_ = 0;
+    try {
+        return dpll(max_decisions) ? Result::Sat : Result::Unsat;
+    } catch (const std::length_error&) {
+        return Result::Unknown;
+    }
+}
+
+bool SatSolver::model_value(std::uint32_t var) const {
+    return model_.at(var) > 0;
+}
+
+std::vector<SatLit> encode_aig(SatSolver& solver, const Aig& aig,
+                               std::vector<std::uint32_t>& input_vars) {
+    // Shared input variables (created on demand).
+    while (input_vars.size() < aig.num_inputs()) {
+        input_vars.push_back(solver.new_var());
+    }
+    // Constant-false variable, forced.
+    const std::uint32_t const_var = solver.new_var();
+    solver.add_clause({sat_lit(const_var, true)});
+
+    std::vector<SatLit> node_lit(aig.num_nodes(), sat_lit(const_var, false));
+    for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+        node_lit[aig_node(aig.input(i))] = sat_lit(input_vars[i], false);
+    }
+    const auto lit_of = [&](AigLit l) {
+        const SatLit base = node_lit[aig_node(l)];
+        return aig_is_complement(l) ? sat_not(base) : base;
+    };
+    for (const std::uint32_t n : aig.topological_order()) {
+        if (!aig.is_and(n)) continue;
+        const std::uint32_t v = solver.new_var();
+        const SatLit y = sat_lit(v, false);
+        const SatLit a = lit_of(aig.fanin0(n));
+        const SatLit b = lit_of(aig.fanin1(n));
+        // y <-> a & b.
+        solver.add_clause({sat_not(y), a});
+        solver.add_clause({sat_not(y), b});
+        solver.add_clause({y, sat_not(a), sat_not(b)});
+        node_lit[n] = y;
+    }
+    std::vector<SatLit> outs;
+    outs.reserve(aig.outputs().size());
+    for (const auto& [name, l] : aig.outputs()) {
+        (void)name;
+        outs.push_back(lit_of(l));
+    }
+    return outs;
+}
+
+std::optional<bool> sat_equivalent(const Aig& a, const Aig& b,
+                                   std::uint64_t max_decisions) {
+    if (a.num_inputs() != b.num_inputs() ||
+        a.outputs().size() != b.outputs().size()) {
+        throw std::invalid_argument("sat_equivalent: interface mismatch");
+    }
+    SatSolver solver;
+    std::vector<std::uint32_t> inputs;
+    const auto oa = encode_aig(solver, a, inputs);
+    const auto ob = encode_aig(solver, b, inputs);
+
+    // Miter: OR over per-output XORs must be satisfiable iff not equal.
+    std::vector<SatLit> any_diff;
+    for (std::size_t o = 0; o < oa.size(); ++o) {
+        const std::uint32_t d = solver.new_var();
+        const SatLit dl = sat_lit(d, false);
+        // d -> (oa != ob):  (!d | oa | ob') is wrong; encode d <-> xor.
+        solver.add_clause({sat_not(dl), oa[o], ob[o]});
+        solver.add_clause({sat_not(dl), sat_not(oa[o]), sat_not(ob[o])});
+        solver.add_clause({dl, sat_not(oa[o]), ob[o]});
+        solver.add_clause({dl, oa[o], sat_not(ob[o])});
+        any_diff.push_back(dl);
+    }
+    solver.add_clause(any_diff);  // at least one output differs
+
+    switch (solver.solve(max_decisions)) {
+        case SatSolver::Result::Sat: return false;   // distinguishing input found
+        case SatSolver::Result::Unsat: return true;  // proved equivalent
+        case SatSolver::Result::Unknown: return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+}  // namespace janus

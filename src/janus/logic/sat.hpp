@@ -1,0 +1,70 @@
+#pragma once
+/// \file sat.hpp
+/// A small CNF SAT solver (DPLL with unit propagation and conflict
+/// counting) plus Tseitin encoding of AIGs. Powers proof-strength
+/// combinational equivalence checking beyond the truth-table limit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "janus/logic/aig.hpp"
+
+namespace janus {
+
+/// A literal: variable index << 1 | negated. Variable 0 is reserved.
+using SatLit = std::uint32_t;
+constexpr SatLit sat_lit(std::uint32_t var, bool neg) {
+    return (var << 1) | static_cast<SatLit>(neg);
+}
+constexpr std::uint32_t sat_var(SatLit l) { return l >> 1; }
+constexpr bool sat_neg(SatLit l) { return l & 1u; }
+constexpr SatLit sat_not(SatLit l) { return l ^ 1u; }
+
+/// CNF formula builder + solver.
+class SatSolver {
+  public:
+    SatSolver() = default;
+
+    /// Allocates a fresh variable (1-based ids).
+    std::uint32_t new_var();
+    std::uint32_t num_vars() const { return num_vars_; }
+
+    /// Adds a clause (disjunction of literals). An empty clause makes the
+    /// formula trivially unsatisfiable.
+    void add_clause(std::vector<SatLit> clause);
+
+    enum class Result { Sat, Unsat, Unknown };
+
+    /// DPLL search with a decision budget; Unknown when exhausted.
+    Result solve(std::uint64_t max_decisions = 10'000'000);
+
+    /// Model access after Sat: value of a variable.
+    bool model_value(std::uint32_t var) const;
+
+    std::size_t num_clauses() const { return clauses_.size(); }
+    std::uint64_t decisions() const { return decisions_; }
+
+  private:
+    std::uint32_t num_vars_ = 0;
+    std::vector<std::vector<SatLit>> clauses_;
+    std::vector<signed char> model_;  // 0 unknown, 1 true, -1 false
+    std::uint64_t decisions_ = 0;
+
+    enum class Propagate { Ok, Conflict };
+    Propagate propagate(std::vector<std::uint32_t>& trail);
+    bool dpll(std::uint64_t budget);
+};
+
+/// Tseitin-encodes `aig` into `solver`; returns one SAT literal per AIG
+/// output and records each input's SAT variable in `input_vars` (shared
+/// across calls so two designs can be encoded over the same inputs).
+std::vector<SatLit> encode_aig(SatSolver& solver, const Aig& aig,
+                               std::vector<std::uint32_t>& input_vars);
+
+/// Builds the miter of two same-interface AIGs and decides equivalence.
+/// Returns true/false, or nullopt when the decision budget ran out.
+std::optional<bool> sat_equivalent(const Aig& a, const Aig& b,
+                                   std::uint64_t max_decisions = 10'000'000);
+
+}  // namespace janus

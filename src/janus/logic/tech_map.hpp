@@ -1,0 +1,30 @@
+#pragma once
+/// \file tech_map.hpp
+/// Cut-based technology mapping from an AIG into a standard-cell netlist.
+/// Matching is exhaustive over input permutations and phases (inverter
+/// absorption), selection is area-flow driven. `naive_map` is the
+/// no-optimization baseline used by experiment E1.
+
+#include <memory>
+
+#include "janus/logic/aig.hpp"
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+struct TechMapOptions {
+    int cut_size = 4;
+    int max_cuts_per_node = 8;
+};
+
+/// Maps `aig` onto `lib`. The result is a valid netlist whose primary
+/// input/output names and order match the AIG's, logically equivalent to
+/// it (verified in tests by exhaustive/random simulation).
+Netlist tech_map(const Aig& aig, std::shared_ptr<const CellLibrary> lib,
+                 const TechMapOptions& opts = {});
+
+/// Baseline mapping: one AND2 cell per AIG node plus explicit inverters on
+/// complemented edges. No sharing-aware matching, no multi-input cells.
+Netlist naive_map(const Aig& aig, std::shared_ptr<const CellLibrary> lib);
+
+}  // namespace janus

@@ -1,0 +1,166 @@
+#include "janus/logic/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+std::size_t words_needed(int num_vars) {
+    return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+    if (num_vars < 0 || num_vars > 16) {
+        throw std::invalid_argument("TruthTable: num_vars out of range");
+    }
+    words_.assign(words_needed(num_vars), 0);
+}
+
+void TruthTable::mask_tail() {
+    if (num_vars_ < 6) {
+        words_[0] &= (1ull << (1u << num_vars_)) - 1;
+    }
+}
+
+TruthTable TruthTable::constant(int num_vars, bool value) {
+    TruthTable t(num_vars);
+    if (value) {
+        for (auto& w : t.words_) w = ~0ull;
+        t.mask_tail();
+    }
+    return t;
+}
+
+TruthTable TruthTable::variable(int num_vars, int var) {
+    assert(var >= 0 && var < num_vars);
+    TruthTable t(num_vars);
+    if (var < 6) {
+        std::uint64_t pattern = 0;
+        for (unsigned m = 0; m < 64; ++m) {
+            if (m & (1u << var)) pattern |= (1ull << m);
+        }
+        for (auto& w : t.words_) w = pattern;
+    } else {
+        const std::size_t stride = std::size_t{1} << (var - 6);
+        for (std::size_t w = 0; w < t.words_.size(); ++w) {
+            if ((w / stride) & 1) t.words_[w] = ~0ull;
+        }
+    }
+    t.mask_tail();
+    return t;
+}
+
+bool TruthTable::bit(std::uint64_t m) const {
+    assert(m < num_minterms_space());
+    return (words_[m >> 6] >> (m & 63)) & 1;
+}
+
+void TruthTable::set_bit(std::uint64_t m, bool value) {
+    assert(m < num_minterms_space());
+    if (value) {
+        words_[m >> 6] |= (1ull << (m & 63));
+    } else {
+        words_[m >> 6] &= ~(1ull << (m & 63));
+    }
+}
+
+std::uint64_t TruthTable::count_ones() const {
+    std::uint64_t n = 0;
+    for (const auto w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+}
+
+bool TruthTable::is_constant(bool value) const {
+    return *this == constant(num_vars_, value);
+}
+
+bool TruthTable::depends_on(int var) const {
+    return !(cofactor(var, false) == cofactor(var, true));
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+    assert(var >= 0 && var < num_vars_);
+    TruthTable r(num_vars_);
+    for (std::uint64_t m = 0; m < num_minterms_space(); ++m) {
+        std::uint64_t src = m;
+        if (value) {
+            src |= (1ull << var);
+        } else {
+            src &= ~(1ull << var);
+        }
+        r.set_bit(m, bit(src));
+    }
+    return r;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+    assert(num_vars_ == o.num_vars_);
+    TruthTable r(num_vars_);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+    assert(num_vars_ == o.num_vars_);
+    TruthTable r(num_vars_);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+    assert(num_vars_ == o.num_vars_);
+    TruthTable r(num_vars_);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] ^ o.words_[i];
+    return r;
+}
+
+TruthTable TruthTable::operator~() const {
+    TruthTable r(num_vars_);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+    r.mask_tail();
+    return r;
+}
+
+bool TruthTable::operator==(const TruthTable& o) const {
+    return num_vars_ == o.num_vars_ && words_ == o.words_;
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+    assert(static_cast<int>(perm.size()) == num_vars_);
+    TruthTable r(num_vars_);
+    for (std::uint64_t m = 0; m < num_minterms_space(); ++m) {
+        // Bit i of the new minterm supplies old variable perm[i].
+        std::uint64_t src = 0;
+        for (int i = 0; i < num_vars_; ++i) {
+            if (m & (1ull << i)) src |= (1ull << perm[static_cast<std::size_t>(i)]);
+        }
+        r.set_bit(m, bit(src));
+    }
+    return r;
+}
+
+std::string TruthTable::to_hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    const int nibbles =
+        num_vars_ <= 2 ? 1 : static_cast<int>(num_minterms_space() / 4);
+    for (int i = nibbles - 1; i >= 0; --i) {
+        const auto word = words_[static_cast<std::size_t>(i) / 16];
+        out.push_back(digits[(word >> ((i % 16) * 4)) & 0xF]);
+    }
+    return out;
+}
+
+std::uint64_t TruthTable::hash() const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(num_vars_);
+    for (const auto w : words_) {
+        h ^= w + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+}  // namespace janus

@@ -1,0 +1,65 @@
+#pragma once
+/// \file truth_table.hpp
+/// Dense truth tables over up to 16 variables, bit-packed into 64-bit
+/// words. Used by cut enumeration, technology mapping and the two-level
+/// minimizer's correctness checks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// A completely-specified Boolean function of `num_vars` inputs. Bit `m`
+/// of the table is f(minterm m), with variable 0 as the least significant
+/// input bit of m.
+class TruthTable {
+  public:
+    /// Constant-zero function of n variables (0 <= n <= 16).
+    explicit TruthTable(int num_vars = 0);
+
+    static TruthTable constant(int num_vars, bool value);
+    /// Projection x_i of n variables.
+    static TruthTable variable(int num_vars, int var);
+
+    int num_vars() const { return num_vars_; }
+    std::uint64_t num_minterms_space() const { return 1ull << num_vars_; }
+
+    bool bit(std::uint64_t minterm) const;
+    void set_bit(std::uint64_t minterm, bool value);
+
+    /// Number of minterms where f = 1.
+    std::uint64_t count_ones() const;
+    bool is_constant(bool value) const;
+
+    /// True if variable `var` affects the function.
+    bool depends_on(int var) const;
+    /// Positive/negative cofactor with respect to `var` (same num_vars;
+    /// result no longer depends on `var`).
+    TruthTable cofactor(int var, bool value) const;
+
+    /// Logical operators (operands must have equal num_vars).
+    TruthTable operator&(const TruthTable& o) const;
+    TruthTable operator|(const TruthTable& o) const;
+    TruthTable operator^(const TruthTable& o) const;
+    TruthTable operator~() const;
+    bool operator==(const TruthTable& o) const;
+
+    /// Reorders inputs: new input i is old input perm[i]. perm must be a
+    /// permutation of 0..n-1.
+    TruthTable permute(const std::vector<int>& perm) const;
+
+    /// Hex string, most significant word first (canonical printing).
+    std::string to_hex() const;
+    /// 64-bit hash usable as a map key.
+    std::uint64_t hash() const;
+
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+  private:
+    int num_vars_;
+    std::vector<std::uint64_t> words_;
+    void mask_tail();
+};
+
+}  // namespace janus

@@ -1,0 +1,327 @@
+#include "janus/netlist/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+std::size_t must_find(const CellLibrary& lib, CellFunction fn) {
+    const auto id = lib.find_function(fn);
+    if (!id) {
+        throw std::runtime_error("generator: library lacks " + function_name(fn));
+    }
+    return *id;
+}
+
+/// Picks a fanin net with a bias toward recently created nets, which yields
+/// locality similar to real designs (short nets dominate, a few long ones).
+NetId pick_fanin(const std::vector<NetId>& pool, double locality, Rng& rng) {
+    assert(!pool.empty());
+    if (pool.size() == 1 || !rng.next_bool(locality)) {
+        return pool[rng.pick_index(pool.size())];
+    }
+    // Exponential bias: window of the most recent ~12%.
+    const std::size_t window =
+        std::max<std::size_t>(1, pool.size() / 8);
+    return pool[pool.size() - 1 - rng.pick_index(window)];
+}
+
+}  // namespace
+
+Netlist generate_random(std::shared_ptr<const CellLibrary> lib,
+                        const GeneratorConfig& cfg) {
+    if (cfg.num_inputs == 0) throw std::invalid_argument("generate_random: no inputs");
+    Netlist nl(lib, "rand_" + std::to_string(cfg.seed));
+    Rng rng(cfg.seed);
+
+    std::vector<NetId> pool;
+    for (std::size_t i = 0; i < cfg.num_inputs; ++i) {
+        pool.push_back(nl.add_primary_input("pi" + std::to_string(i)));
+    }
+
+    // Flop outputs join the pool as pseudo-inputs; their D pins are
+    // connected after all logic exists.
+    const std::size_t dff = must_find(*lib, CellFunction::Dff);
+    std::vector<InstId> flops;
+    for (std::size_t i = 0; i < cfg.num_flops; ++i) {
+        // Temporarily feed D from pi0; rewired below.
+        const InstId f = nl.add_instance("ff" + std::to_string(i), dff, {pool[0]});
+        flops.push_back(f);
+        pool.push_back(nl.instance(f).output);
+    }
+
+    static const CellFunction kPlain[] = {
+        CellFunction::Nand2, CellFunction::Nor2, CellFunction::And2,
+        CellFunction::Or2,   CellFunction::Inv,  CellFunction::Aoi21,
+        CellFunction::Oai21, CellFunction::Nand3, CellFunction::Nor3,
+        CellFunction::Mux2,
+    };
+    static const CellFunction kXor[] = {CellFunction::Xor2, CellFunction::Xnor2};
+
+    for (std::size_t g = 0; g < cfg.num_gates; ++g) {
+        const CellFunction fn =
+            rng.next_bool(cfg.xor_fraction)
+                ? kXor[rng.pick_index(std::size(kXor))]
+                : kPlain[rng.pick_index(std::size(kPlain))];
+        const int arity = function_arity(fn);
+        std::vector<NetId> fanins;
+        fanins.reserve(static_cast<std::size_t>(arity));
+        for (int p = 0; p < arity; ++p) {
+            fanins.push_back(pick_fanin(pool, cfg.locality, rng));
+        }
+        const InstId id = nl.add_instance("g" + std::to_string(g),
+                                          must_find(*lib, fn), fanins);
+        pool.push_back(nl.instance(id).output);
+    }
+
+    // Rewire flop D inputs to late nets so state depends on the logic.
+    for (InstId f : flops) {
+        nl.connect_input(f, 0, pick_fanin(pool, cfg.locality, rng));
+    }
+
+    // Primary outputs observe the most recent nets (likely deep logic).
+    for (std::size_t o = 0; o < cfg.num_outputs; ++o) {
+        const NetId n = pool[pool.size() - 1 - (o % std::min(pool.size(), cfg.num_gates + 1))];
+        nl.add_primary_output("po" + std::to_string(o), n);
+    }
+    return nl;
+}
+
+Netlist generate_adder(std::shared_ptr<const CellLibrary> lib, int bits) {
+    if (bits < 1) throw std::invalid_argument("generate_adder: bits < 1");
+    Netlist nl(lib, "adder" + std::to_string(bits));
+    const std::size_t xor2 = must_find(*lib, CellFunction::Xor2);
+    const std::size_t maj3 = must_find(*lib, CellFunction::Maj3);
+
+    std::vector<NetId> a(static_cast<std::size_t>(bits)), b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_primary_input("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_primary_input("b" + std::to_string(i));
+    NetId carry = nl.add_primary_input("cin");
+
+    for (int i = 0; i < bits; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const InstId axb = nl.add_instance("axb" + std::to_string(i), xor2, {a[ui], b[ui]});
+        const InstId sum =
+            nl.add_instance("sum" + std::to_string(i), xor2, {nl.instance(axb).output, carry});
+        const InstId cy =
+            nl.add_instance("cy" + std::to_string(i), maj3, {a[ui], b[ui], carry});
+        nl.add_primary_output("s" + std::to_string(i), nl.instance(sum).output);
+        carry = nl.instance(cy).output;
+    }
+    nl.add_primary_output("cout", carry);
+    return nl;
+}
+
+Netlist generate_parity(std::shared_ptr<const CellLibrary> lib, int inputs) {
+    if (inputs < 1) throw std::invalid_argument("generate_parity: inputs < 1");
+    Netlist nl(lib, "parity" + std::to_string(inputs));
+    const std::size_t xor2 = must_find(*lib, CellFunction::Xor2);
+    std::vector<NetId> level;
+    for (int i = 0; i < inputs; ++i) {
+        level.push_back(nl.add_primary_input("x" + std::to_string(i)));
+    }
+    int g = 0;
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            const InstId x = nl.add_instance("px" + std::to_string(g++), xor2,
+                                             {level[i], level[i + 1]});
+            next.push_back(nl.instance(x).output);
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+    }
+    nl.add_primary_output("parity", level.front());
+    return nl;
+}
+
+Netlist generate_comparator(std::shared_ptr<const CellLibrary> lib, int bits) {
+    if (bits < 1) throw std::invalid_argument("generate_comparator: bits < 1");
+    Netlist nl(lib, "cmp" + std::to_string(bits));
+    const std::size_t xnor2 = must_find(*lib, CellFunction::Xnor2);
+    const std::size_t and2 = must_find(*lib, CellFunction::And2);
+    std::vector<NetId> eq;
+    std::vector<NetId> a(static_cast<std::size_t>(bits)), b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_primary_input("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_primary_input("b" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const InstId x = nl.add_instance("eq" + std::to_string(i), xnor2, {a[ui], b[ui]});
+        eq.push_back(nl.instance(x).output);
+    }
+    int g = 0;
+    while (eq.size() > 1) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i + 1 < eq.size(); i += 2) {
+            const InstId x =
+                nl.add_instance("and" + std::to_string(g++), and2, {eq[i], eq[i + 1]});
+            next.push_back(nl.instance(x).output);
+        }
+        if (eq.size() % 2 == 1) next.push_back(eq.back());
+        eq = std::move(next);
+    }
+    nl.add_primary_output("equal", eq.front());
+    return nl;
+}
+
+Netlist generate_counter(std::shared_ptr<const CellLibrary> lib, int bits) {
+    if (bits < 1) throw std::invalid_argument("generate_counter: bits < 1");
+    Netlist nl(lib, "counter" + std::to_string(bits));
+    const std::size_t dff = must_find(*lib, CellFunction::Dff);
+    const std::size_t xor2 = must_find(*lib, CellFunction::Xor2);
+    const std::size_t and2 = must_find(*lib, CellFunction::And2);
+    const NetId en = nl.add_primary_input("enable");
+
+    // Create flops first (D temporarily tied to enable), then build the
+    // increment network q XOR carry-chain and rewire D pins.
+    std::vector<InstId> flops;
+    for (int i = 0; i < bits; ++i) {
+        flops.push_back(nl.add_instance("q" + std::to_string(i), dff, {en}));
+    }
+    NetId carry = en;
+    for (int i = 0; i < bits; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const NetId q = nl.instance(flops[ui]).output;
+        const InstId sum = nl.add_instance("inc" + std::to_string(i), xor2, {q, carry});
+        nl.connect_input(flops[ui], 0, nl.instance(sum).output);
+        if (i + 1 < bits) {
+            const InstId cy = nl.add_instance("cc" + std::to_string(i), and2, {q, carry});
+            carry = nl.instance(cy).output;
+        }
+        nl.add_primary_output("count" + std::to_string(i), q);
+    }
+    return nl;
+}
+
+Netlist generate_mesh(std::shared_ptr<const CellLibrary> lib,
+                      std::size_t num_gates, std::uint64_t seed,
+                      int pipeline_stages) {
+    if (num_gates == 0) throw std::invalid_argument("generate_mesh: no gates");
+    Netlist nl(lib, "mesh" + std::to_string(num_gates));
+    Rng rng(seed);
+    const std::size_t side = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(num_gates)))));
+    const std::size_t regs_every =
+        pipeline_stages > 0
+            ? std::max<std::size_t>(1, side / (static_cast<std::size_t>(pipeline_stages) + 1))
+            : 0;
+    const auto dff = lib->find_function(CellFunction::Dff);
+
+    static const CellFunction kFns[] = {
+        CellFunction::Nand2, CellFunction::Nor2, CellFunction::Xor2,
+        CellFunction::And2,  CellFunction::Aoi21, CellFunction::Mux2,
+    };
+
+    // grid[col][row] = output net of the gate (or PI for column -1).
+    std::vector<NetId> prev_col, cur_col;
+    for (std::size_t r = 0; r < side; ++r) {
+        prev_col.push_back(nl.add_primary_input("pi" + std::to_string(r)));
+    }
+    std::size_t made = 0;
+    int g = 0;
+    int ff = 0;
+    for (std::size_t col = 0; col < side && made < num_gates; ++col) {
+        // Pipeline boundary: register the whole previous column.
+        if (regs_every > 0 && col > 0 && col % regs_every == 0 && dff) {
+            for (NetId& net : prev_col) {
+                const InstId f =
+                    nl.add_instance("ppl" + std::to_string(ff++), *dff, {net});
+                net = nl.instance(f).output;
+            }
+        }
+        cur_col.clear();
+        for (std::size_t row = 0; row < side && made < num_gates; ++row) {
+            const CellFunction fn = kFns[rng.pick_index(std::size(kFns))];
+            const int arity = function_arity(fn);
+            std::vector<NetId> fanins;
+            for (int p = 0; p < arity; ++p) {
+                // Window: previous column, rows within +-2 (clamped; a
+                // wrap-around would create die-spanning nets no placement
+                // can shorten).
+                const auto lo = static_cast<std::int64_t>(row) - 2;
+                const auto hi = static_cast<std::int64_t>(row) + 2;
+                const auto r2 = static_cast<std::size_t>(std::clamp<std::int64_t>(
+                    rng.next_in(lo, hi), 0,
+                    static_cast<std::int64_t>(side) - 1));
+                fanins.push_back(prev_col[r2 % prev_col.size()]);
+            }
+            const InstId id =
+                nl.add_instance("m" + std::to_string(g++), must_find(*lib, fn), fanins);
+            cur_col.push_back(nl.instance(id).output);
+            ++made;
+        }
+        prev_col = cur_col;
+    }
+    for (std::size_t r = 0; r < prev_col.size(); ++r) {
+        nl.add_primary_output("po" + std::to_string(r), prev_col[r]);
+    }
+    return nl;
+}
+
+Netlist generate_multiplier(std::shared_ptr<const CellLibrary> lib, int bits) {
+    if (bits < 1) throw std::invalid_argument("generate_multiplier: bits < 1");
+    Netlist nl(lib, "mult" + std::to_string(bits));
+    const std::size_t and2 = must_find(*lib, CellFunction::And2);
+    const std::size_t xor2 = must_find(*lib, CellFunction::Xor2);
+    const std::size_t maj3 = must_find(*lib, CellFunction::Maj3);
+    const auto ub = static_cast<std::size_t>(bits);
+
+    std::vector<NetId> a(ub), b(ub);
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_primary_input("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_primary_input("b" + std::to_string(i));
+
+    // Partial products pp[i][j] = a[i] & b[j]; accumulate row by row with
+    // ripple adders (simple array multiplier).
+    std::vector<NetId> acc;  // running sum, LSB first
+    int g = 0;
+    for (std::size_t j = 0; j < ub; ++j) {
+        std::vector<NetId> row(ub);
+        for (std::size_t i = 0; i < ub; ++i) {
+            const InstId pp = nl.add_instance("pp" + std::to_string(g++), and2, {a[i], b[j]});
+            row[i] = nl.instance(pp).output;
+        }
+        if (j == 0) {
+            acc = row;
+            continue;
+        }
+        // Add row (shifted by j) into acc.
+        std::vector<NetId> next(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(j));
+        NetId carry = kNoNet;
+        for (std::size_t i = 0; i < ub; ++i) {
+            const NetId x = (j + i < acc.size()) ? acc[j + i] : kNoNet;
+            const NetId y = row[i];
+            if (x == kNoNet && carry == kNoNet) {
+                next.push_back(y);
+            } else if (carry == kNoNet) {
+                const InstId s = nl.add_instance("ha_s" + std::to_string(g), xor2, {x, y});
+                const InstId cj = nl.add_instance("ha_c" + std::to_string(g++), and2, {x, y});
+                next.push_back(nl.instance(s).output);
+                carry = nl.instance(cj).output;
+            } else if (x == kNoNet) {
+                const InstId s = nl.add_instance("ha_s" + std::to_string(g), xor2, {y, carry});
+                const InstId cj = nl.add_instance("ha_c" + std::to_string(g++), and2, {y, carry});
+                next.push_back(nl.instance(s).output);
+                carry = nl.instance(cj).output;
+            } else {
+                const InstId t = nl.add_instance("fa_t" + std::to_string(g), xor2, {x, y});
+                const InstId s = nl.add_instance("fa_s" + std::to_string(g), xor2,
+                                                 {nl.instance(t).output, carry});
+                const InstId cj = nl.add_instance("fa_c" + std::to_string(g++), maj3,
+                                                  {x, y, carry});
+                next.push_back(nl.instance(s).output);
+                carry = nl.instance(cj).output;
+            }
+        }
+        if (carry != kNoNet) next.push_back(carry);
+        acc = std::move(next);
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        nl.add_primary_output("p" + std::to_string(i), acc[i]);
+    }
+    return nl;
+}
+
+}  // namespace janus

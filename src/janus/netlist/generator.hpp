@@ -1,0 +1,63 @@
+#pragma once
+/// \file generator.hpp
+/// Synthetic circuit generators. Because the panel's production testcases
+/// (networking ASICs, mobile SoCs) are proprietary, experiments run on
+/// generated designs: random logic with controlled rent-like structure,
+/// plus structured arithmetic blocks whose optimal implementations are
+/// known (adders, parity, comparators) — the XOR-rich functions E12 needs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/util/rng.hpp"
+
+namespace janus {
+
+/// Parameters for random combinational/sequential netlist generation.
+struct GeneratorConfig {
+    std::size_t num_inputs = 16;
+    std::size_t num_outputs = 8;
+    std::size_t num_gates = 200;      ///< combinational instances to create
+    std::size_t num_flops = 0;        ///< sequential instances to create
+    double locality = 0.8;            ///< 0..1, higher = prefer recent nets as fanins
+    double xor_fraction = 0.1;        ///< fraction of gates drawn from {XOR2, XNOR2}
+    std::uint64_t seed = 1;
+};
+
+/// Generates a random gate-level design over the given library. The result
+/// is acyclic, fully connected and passes Netlist::validate().
+Netlist generate_random(std::shared_ptr<const CellLibrary> lib,
+                        const GeneratorConfig& cfg);
+
+/// n-bit ripple-carry adder: inputs a[n], b[n], cin; outputs sum[n], cout.
+Netlist generate_adder(std::shared_ptr<const CellLibrary> lib, int bits);
+
+/// n-input XOR parity tree: output is the parity of all inputs.
+Netlist generate_parity(std::shared_ptr<const CellLibrary> lib, int inputs);
+
+/// n-bit equality comparator: output 1 iff a == b.
+Netlist generate_comparator(std::shared_ptr<const CellLibrary> lib, int bits);
+
+/// n-bit synchronous counter-like pipeline: `bits` flops with an XOR/AND
+/// increment network — a simple sequential testcase for scan/DFT work.
+Netlist generate_counter(std::shared_ptr<const CellLibrary> lib, int bits);
+
+/// Multiplier-like array (AND matrix + carry-save rows), n x n bits. Dense
+/// and wiring-heavy: the placement/routing stress case.
+Netlist generate_multiplier(std::shared_ptr<const CellLibrary> lib, int bits);
+
+/// Datapath-style mesh: roughly sqrt(gates) x sqrt(gates) feed-forward
+/// array where every gate's fanins come from a small window of earlier
+/// columns — the Rent-exponent-realistic workload (networking datapaths,
+/// systolic arrays) used for physical-design scaling studies. Unlike
+/// generate_random, a good placement makes almost every net short.
+/// `pipeline_stages` > 0 inserts a column of DFFs after every
+/// side/(stages+1) logic columns — a pipelined datapath with realistic
+/// register placement pressure (used by the scan/DFT examples).
+Netlist generate_mesh(std::shared_ptr<const CellLibrary> lib,
+                      std::size_t num_gates, std::uint64_t seed = 1,
+                      int pipeline_stages = 0);
+
+}  // namespace janus

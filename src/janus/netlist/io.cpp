@@ -1,0 +1,178 @@
+#include "janus/netlist/io.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace janus {
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+    os << "design " << nl.name() << "\n";
+    for (NetId pi : nl.primary_inputs()) {
+        os << "input " << nl.net(pi).name << " n" << pi << "\n";
+    }
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const Instance& inst = nl.instance(i);
+        const CellType& ct = nl.type_of(i);
+        os << "inst " << inst.name << " " << ct.name << " n" << inst.output;
+        const int arity = function_arity(ct.function);
+        for (int p = 0; p < arity; ++p) {
+            os << " n" << inst.fanin[static_cast<std::size_t>(p)];
+        }
+        os << "\n";
+    }
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        os << "output " << name << " n" << net << "\n";
+    }
+}
+
+std::string netlist_to_string(const Netlist& nl) {
+    std::ostringstream ss;
+    write_netlist(ss, nl);
+    return ss.str();
+}
+
+void write_placement(std::ostream& os, const Netlist& nl) {
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const Instance& inst = nl.instance(i);
+        if (!inst.placed) continue;
+        os << "place " << inst.name << " " << inst.position.x << " "
+           << inst.position.y << "\n";
+    }
+}
+
+std::size_t read_placement(std::istream& is, Netlist& nl) {
+    // Name -> id index (placements are name-keyed to survive reordering).
+    std::map<std::string, InstId> by_name;
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        by_name[nl.instance(i).name] = i;
+    }
+    std::string line;
+    std::size_t placed = 0;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::istringstream ls(line);
+        std::string kw, name;
+        std::int64_t x = 0, y = 0;
+        if (!(ls >> kw)) continue;
+        if (kw != "place" || !(ls >> name >> x >> y)) {
+            throw std::runtime_error("read_placement: malformed line " +
+                                     std::to_string(line_no));
+        }
+        const auto it = by_name.find(name);
+        if (it == by_name.end()) {
+            throw std::runtime_error("read_placement: unknown instance " + name);
+        }
+        Instance& inst = nl.instance(it->second);
+        inst.position = {x, y};
+        inst.placed = true;
+        ++placed;
+    }
+    return placed;
+}
+
+namespace {
+
+struct PendingInst {
+    InstId id;
+    std::vector<std::string> fanin_names;
+};
+
+}  // namespace
+
+Netlist read_netlist(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
+    Netlist nl(lib, "top");
+    std::map<std::string, NetId> net_by_name;
+    std::vector<PendingInst> pending;
+    // Placeholder net used to satisfy add_instance before fanins resolve.
+    const NetId placeholder = nl.add_net("_placeholder");
+
+    std::string line;
+    std::size_t line_no = 0;
+    bool got_design = false;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream ls(line);
+        std::string kw;
+        if (!(ls >> kw)) continue;
+        const auto fail = [&](const std::string& why) {
+            throw std::runtime_error("read_netlist: line " + std::to_string(line_no) +
+                                     ": " + why);
+        };
+        if (kw == "design") {
+            std::string name;
+            if (!(ls >> name)) fail("missing design name");
+            nl = Netlist(lib, name);
+            net_by_name.clear();
+            pending.clear();
+            got_design = true;
+            // Recreate the placeholder in the fresh netlist.
+            const NetId ph = nl.add_net("_placeholder");
+            if (ph != placeholder) fail("internal placeholder mismatch");
+        } else if (kw == "input") {
+            std::string name, netname;
+            if (!(ls >> name >> netname)) fail("input needs <name> <net>");
+            if (net_by_name.count(netname)) fail("net redefined: " + netname);
+            net_by_name[netname] = nl.add_primary_input(name);
+        } else if (kw == "inst") {
+            std::string name, cell, out;
+            if (!(ls >> name >> cell >> out)) fail("inst needs <name> <cell> <out>");
+            const auto type = lib->find(cell);
+            if (!type) fail("unknown cell: " + cell);
+            const int arity = function_arity(lib->cell(*type).function);
+            PendingInst pi;
+            std::string in;
+            while (ls >> in) pi.fanin_names.push_back(in);
+            if (static_cast<int>(pi.fanin_names.size()) != arity) {
+                fail("cell " + cell + " expects " + std::to_string(arity) + " inputs");
+            }
+            pi.id = nl.add_instance(
+                name, *type,
+                std::vector<NetId>(static_cast<std::size_t>(arity), placeholder));
+            if (net_by_name.count(out)) fail("net redefined: " + out);
+            net_by_name[out] = nl.instance(pi.id).output;
+            pending.push_back(std::move(pi));
+        } else if (kw == "output") {
+            std::string name, netname;
+            if (!(ls >> name >> netname)) fail("output needs <name> <net>");
+            const auto it = net_by_name.find(netname);
+            if (it == net_by_name.end()) {
+                // Outputs may be declared before the driving inst; defer by
+                // creating the net now and letting the inst claim it later —
+                // but single-driver bookkeeping makes that fragile, so
+                // require declaration after the driver instead.
+                fail("output references undefined net: " + netname);
+            }
+            nl.add_primary_output(name, it->second);
+        } else {
+            fail("unknown keyword: " + kw);
+        }
+    }
+    if (!got_design) throw std::runtime_error("read_netlist: missing 'design' line");
+
+    for (const PendingInst& pi : pending) {
+        for (std::size_t p = 0; p < pi.fanin_names.size(); ++p) {
+            const auto it = net_by_name.find(pi.fanin_names[p]);
+            if (it == net_by_name.end()) {
+                throw std::runtime_error("read_netlist: instance " +
+                                         nl.instance(pi.id).name +
+                                         " references undefined net " +
+                                         pi.fanin_names[p]);
+            }
+            nl.connect_input(pi.id, static_cast<int>(p), it->second);
+        }
+    }
+    return nl;
+}
+
+Netlist netlist_from_string(const std::string& text,
+                            std::shared_ptr<const CellLibrary> lib) {
+    std::istringstream ss(text);
+    return read_netlist(ss, std::move(lib));
+}
+
+}  // namespace janus

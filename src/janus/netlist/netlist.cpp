@@ -1,0 +1,266 @@
+#include "janus/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace janus {
+
+Netlist::Netlist(std::shared_ptr<const CellLibrary> lib, std::string name)
+    : lib_(std::move(lib)), name_(std::move(name)) {
+    if (!lib_) throw std::invalid_argument("Netlist: null cell library");
+}
+
+void Netlist::invalidate_caches() { sink_cache_valid_ = false; }
+
+NetId Netlist::add_net(std::string name) {
+    nets_.push_back(Net{std::move(name), DriverKind::None, kNoInst});
+    invalidate_caches();
+    return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::add_primary_input(std::string name) {
+    const NetId id = add_net(name);
+    nets_[id].driver_kind = DriverKind::PrimaryInput;
+    primary_inputs_.push_back(id);
+    return id;
+}
+
+void Netlist::add_primary_output(std::string name, NetId net) {
+    assert(net < nets_.size());
+    primary_outputs_.emplace_back(std::move(name), net);
+}
+
+void Netlist::set_primary_output(const std::string& name, NetId net) {
+    assert(net < nets_.size());
+    for (auto& [po_name, po_net] : primary_outputs_) {
+        if (po_name == name) {
+            po_net = net;
+            return;
+        }
+    }
+    throw std::invalid_argument("set_primary_output: unknown output " + name);
+}
+
+InstId Netlist::add_instance(std::string name, std::size_t type,
+                             const std::vector<NetId>& fanins) {
+    const CellType& ct = lib_->cell(type);
+    const int arity = function_arity(ct.function);
+    if (static_cast<int>(fanins.size()) != arity) {
+        throw std::invalid_argument("add_instance(" + name + "): expected " +
+                                    std::to_string(arity) + " fanins, got " +
+                                    std::to_string(fanins.size()));
+    }
+    Instance inst;
+    inst.name = std::move(name);
+    inst.type = type;
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+        assert(fanins[i] < nets_.size());
+        inst.fanin[i] = fanins[i];
+    }
+    const InstId id = static_cast<InstId>(instances_.size());
+    inst.output = add_net(inst.name + ".out");
+    nets_[inst.output].driver_kind = DriverKind::Instance;
+    nets_[inst.output].driver_inst = id;
+    instances_.push_back(std::move(inst));
+    invalidate_caches();
+    return id;
+}
+
+void Netlist::connect_input(InstId inst, int pin, NetId net) {
+    assert(inst < instances_.size());
+    assert(pin >= 0 && pin < function_arity(type_of(inst).function));
+    assert(net < nets_.size());
+    instances_[inst].fanin[static_cast<std::size_t>(pin)] = net;
+    invalidate_caches();
+}
+
+const std::vector<SinkRef>& Netlist::sinks(NetId net) const {
+    if (!sink_cache_valid_) {
+        sink_cache_.assign(nets_.size(), {});
+        for (InstId i = 0; i < instances_.size(); ++i) {
+            const int arity = function_arity(type_of(i).function);
+            for (int p = 0; p < arity; ++p) {
+                const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+                if (n != kNoNet) sink_cache_[n].push_back(SinkRef{i, p});
+            }
+        }
+        sink_cache_valid_ = true;
+    }
+    return sink_cache_.at(net);
+}
+
+std::size_t Netlist::fanout_count(NetId net) const {
+    std::size_t n = sinks(net).size();
+    for (const auto& [name, po_net] : primary_outputs_) {
+        (void)name;
+        if (po_net == net) ++n;
+    }
+    return n;
+}
+
+std::vector<InstId> Netlist::sequential_instances() const {
+    std::vector<InstId> out;
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        if (is_sequential(type_of(i).function)) out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<InstId> Netlist::topological_order() const {
+    // Kahn's algorithm over combinational instances. A combinational
+    // instance is ready when all fanin nets are driven by PIs, flops, or
+    // already-ordered combinational instances.
+    std::vector<int> pending(instances_.size(), 0);
+    std::vector<InstId> ready;
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        if (is_sequential(type_of(i).function)) continue;
+        int deps = 0;
+        const int arity = function_arity(type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+            if (n == kNoNet) continue;
+            if (nets_[n].driver_kind == DriverKind::Instance &&
+                !is_sequential(type_of(nets_[n].driver_inst).function)) {
+                ++deps;
+            }
+        }
+        pending[i] = deps;
+        if (deps == 0) ready.push_back(i);
+    }
+
+    std::vector<InstId> order;
+    order.reserve(instances_.size());
+    std::size_t head = 0;
+    std::size_t num_comb = 0;
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        if (!is_sequential(type_of(i).function)) ++num_comb;
+    }
+    while (head < ready.size()) {
+        const InstId i = ready[head++];
+        order.push_back(i);
+        for (const SinkRef& s : sinks(instances_[i].output)) {
+            if (is_sequential(type_of(s.inst).function)) continue;
+            if (--pending[s.inst] == 0) ready.push_back(s.inst);
+        }
+    }
+    if (order.size() != num_comb) {
+        throw std::runtime_error("topological_order: combinational loop in " + name_);
+    }
+    return order;
+}
+
+int Netlist::logic_depth() const {
+    std::vector<int> depth(nets_.size(), 0);
+    int max_depth = 0;
+    for (InstId i : topological_order()) {
+        const int arity = function_arity(type_of(i).function);
+        int d = 0;
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+            if (n != kNoNet) d = std::max(d, depth[n]);
+        }
+        depth[instances_[i].output] = d + 1;
+        max_depth = std::max(max_depth, d + 1);
+    }
+    return max_depth;
+}
+
+double Netlist::total_area() const {
+    double a = 0;
+    for (InstId i = 0; i < instances_.size(); ++i) a += type_of(i).area_um2;
+    return a;
+}
+
+double Netlist::total_leakage_nw() const {
+    double l = 0;
+    for (InstId i = 0; i < instances_.size(); ++i) l += type_of(i).leakage_nw;
+    return l;
+}
+
+std::vector<std::string> Netlist::validate() const {
+    std::vector<std::string> problems;
+    // Count drivers per net.
+    std::vector<int> drivers(nets_.size(), 0);
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        if (nets_[n].driver_kind != DriverKind::None) drivers[n] = 1;
+    }
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        const Instance& inst = instances_[i];
+        const int arity = function_arity(type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            if (inst.fanin[static_cast<std::size_t>(p)] == kNoNet) {
+                problems.push_back("instance " + inst.name + " pin " +
+                                   std::to_string(p) + " unconnected");
+            }
+        }
+        for (int p = arity; p < kMaxFanin; ++p) {
+            if (inst.fanin[static_cast<std::size_t>(p)] != kNoNet) {
+                problems.push_back("instance " + inst.name +
+                                   " has extra fanin at pin " + std::to_string(p));
+            }
+        }
+        if (inst.output == kNoNet) {
+            problems.push_back("instance " + inst.name + " has no output net");
+        } else if (nets_[inst.output].driver_inst != i) {
+            problems.push_back("instance " + inst.name + " output driver mismatch");
+        }
+    }
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        if (drivers[n] == 0 && (fanout_count(n) > 0)) {
+            problems.push_back("net " + nets_[n].name + " has sinks but no driver");
+        }
+    }
+    return problems;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& pi_values,
+                                    const std::vector<bool>& state) const {
+    if (pi_values.size() != primary_inputs_.size()) {
+        throw std::invalid_argument("evaluate: PI value count mismatch");
+    }
+    const std::vector<InstId> seq = sequential_instances();
+    if (state.size() != seq.size()) {
+        throw std::invalid_argument("evaluate: state count mismatch");
+    }
+    std::vector<bool> value(nets_.size(), false);
+    for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
+        value[primary_inputs_[i]] = pi_values[i];
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        value[instances_[seq[i]].output] = state[i];
+    }
+    for (InstId i : topological_order()) {
+        const CellType& ct = type_of(i);
+        const int arity = function_arity(ct.function);
+        unsigned in = 0;
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+            if (n != kNoNet && value[n]) in |= (1u << p);
+        }
+        value[instances_[i].output] = evaluate_function(ct.function, in);
+    }
+    return value;
+}
+
+std::vector<bool> Netlist::next_state(const std::vector<bool>& pi_values,
+                                      const std::vector<bool>& state) const {
+    const std::vector<bool> value = evaluate(pi_values, state);
+    const std::vector<InstId> seq = sequential_instances();
+    std::vector<bool> next(seq.size(), false);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const Instance& inst = instances_[seq[i]];
+        const NetId d = inst.fanin[0];  // pin 0 is D
+        bool v = d != kNoNet && value[d];
+        if (type_of(seq[i]).function == CellFunction::ScanDff) {
+            // Scan mux: SE (pin 2) selects SI (pin 1) over D.
+            const NetId si = inst.fanin[1];
+            const NetId se = inst.fanin[2];
+            if (se != kNoNet && value[se]) v = si != kNoNet && value[si];
+        }
+        next[i] = v;
+    }
+    return next;
+}
+
+}  // namespace janus

@@ -1,0 +1,155 @@
+#pragma once
+/// \file netlist.hpp
+/// Gate-level netlist: instances of library cells connected by single-driver
+/// nets. This is the common fabric consumed by STA, placement, routing,
+/// power analysis and DFT.
+///
+/// Model: every net has exactly one driver (a primary input or an instance
+/// output) and any number of sinks (instance inputs or primary outputs).
+/// Instances have at most four logic inputs and one output. Sequential
+/// elements are DFF/SDFF instances; their Q output is the instance output.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "janus/netlist/cell_library.hpp"
+#include "janus/util/geometry.hpp"
+
+namespace janus {
+
+using NetId = std::uint32_t;
+using InstId = std::uint32_t;
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+inline constexpr InstId kNoInst = std::numeric_limits<InstId>::max();
+
+/// Maximum number of logic inputs on any library cell.
+inline constexpr int kMaxFanin = 4;
+
+/// What drives a net.
+enum class DriverKind : std::uint8_t { None, PrimaryInput, Instance };
+
+/// One cell instance.
+struct Instance {
+    std::string name;
+    std::size_t type = 0;  ///< index into the CellLibrary
+    std::array<NetId, kMaxFanin> fanin{kNoNet, kNoNet, kNoNet, kNoNet};
+    NetId output = kNoNet;
+    Point position;        ///< placement location in DBU (0,0 until placed)
+    bool placed = false;
+};
+
+/// One net (single driver, multiple sinks).
+struct Net {
+    std::string name;
+    DriverKind driver_kind = DriverKind::None;
+    InstId driver_inst = kNoInst;  ///< valid when driver_kind == Instance
+};
+
+/// A sink reference: input pin `pin` of instance `inst`.
+struct SinkRef {
+    InstId inst;
+    int pin;
+    friend bool operator==(const SinkRef&, const SinkRef&) = default;
+};
+
+/// Gate-level design. The cell library is shared and immutable; it must
+/// describe every instance type used.
+class Netlist {
+  public:
+    explicit Netlist(std::shared_ptr<const CellLibrary> lib, std::string name = "top");
+
+    const std::string& name() const { return name_; }
+    const CellLibrary& library() const { return *lib_; }
+    std::shared_ptr<const CellLibrary> library_ptr() const { return lib_; }
+
+    // --- construction -----------------------------------------------------
+    /// Creates a floating net.
+    NetId add_net(std::string name);
+    /// Creates a primary input driving a fresh net; returns that net.
+    NetId add_primary_input(std::string name);
+    /// Marks `net` as observed by a primary output.
+    void add_primary_output(std::string name, NetId net);
+    /// Repoints an existing primary output (by name) at a different net;
+    /// used when restructuring (e.g. scan reorder moves the chain tail).
+    void set_primary_output(const std::string& name, NetId net);
+    /// Instantiates library cell `type` driving a fresh output net. `fanins`
+    /// must match the cell's arity. Returns the instance id.
+    InstId add_instance(std::string name, std::size_t type,
+                        const std::vector<NetId>& fanins);
+    /// Rewires input pin `pin` of `inst` to `net`.
+    void connect_input(InstId inst, int pin, NetId net);
+
+    // --- access -----------------------------------------------------------
+    std::size_t num_instances() const { return instances_.size(); }
+    std::size_t num_nets() const { return nets_.size(); }
+    const Instance& instance(InstId id) const { return instances_.at(id); }
+    Instance& instance(InstId id) { return instances_.at(id); }
+    const Net& net(NetId id) const { return nets_.at(id); }
+    const std::vector<Instance>& instances() const { return instances_; }
+    const std::vector<Net>& nets() const { return nets_; }
+    const CellType& type_of(InstId id) const { return lib_->cell(instances_.at(id).type); }
+
+    const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
+    /// Primary outputs as (name, net) pairs.
+    const std::vector<std::pair<std::string, NetId>>& primary_outputs() const {
+        return primary_outputs_;
+    }
+
+    /// Sinks of a net (instance input pins; primary outputs not included).
+    /// Valid until the netlist is next modified.
+    const std::vector<SinkRef>& sinks(NetId net) const;
+    /// Number of instance sinks plus primary-output observers on a net.
+    std::size_t fanout_count(NetId net) const;
+
+    /// All sequential (DFF/SDFF) instance ids.
+    std::vector<InstId> sequential_instances() const;
+    /// Combinational instances in topological order (inputs before outputs).
+    /// DFF outputs are treated as sources and DFF inputs as sinks, so the
+    /// order is well defined for sequential designs without combinational
+    /// loops. Throws std::runtime_error when a combinational loop exists.
+    std::vector<InstId> topological_order() const;
+
+    /// Logic depth in gates of the longest combinational path.
+    int logic_depth() const;
+    /// Sum of instance cell areas in um^2.
+    double total_area() const;
+    /// Sum of instance leakage in nW.
+    double total_leakage_nw() const;
+
+    /// Checks structural sanity (every net driven at most once, arities
+    /// consistent, no dangling instance inputs). Returns a list of problem
+    /// descriptions; empty means the netlist is well formed.
+    std::vector<std::string> validate() const;
+
+    // --- simulation -------------------------------------------------------
+    /// Combinational evaluation: given a value per primary input (in
+    /// primary_inputs() order) and a state per sequential instance (in
+    /// sequential_instances() order), computes every net value. Returned
+    /// vector is indexed by NetId.
+    std::vector<bool> evaluate(const std::vector<bool>& pi_values,
+                               const std::vector<bool>& state) const;
+    /// One clock edge: evaluates, then returns the next-state vector (the
+    /// D-input values of all sequential instances, scan disabled).
+    std::vector<bool> next_state(const std::vector<bool>& pi_values,
+                                 const std::vector<bool>& state) const;
+
+  private:
+    void invalidate_caches();
+
+    std::shared_ptr<const CellLibrary> lib_;
+    std::string name_;
+    std::vector<Instance> instances_;
+    std::vector<Net> nets_;
+    std::vector<NetId> primary_inputs_;
+    std::vector<std::pair<std::string, NetId>> primary_outputs_;
+
+    mutable std::vector<std::vector<SinkRef>> sink_cache_;
+    mutable bool sink_cache_valid_ = false;
+};
+
+}  // namespace janus

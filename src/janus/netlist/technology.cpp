@@ -1,0 +1,38 @@
+#include "janus/netlist/technology.hpp"
+
+#include <cmath>
+
+namespace janus {
+
+int TechnologyNode::patterning_factor() const {
+    if (metal_pitch_nm <= 0) return 1;
+    return static_cast<int>(std::ceil(kSinglePatternPitchNm / metal_pitch_nm));
+}
+
+const std::vector<TechnologyNode>& standard_nodes() {
+    // name, feature, pitch, layers, vdd, cap, delay, leak, track,
+    // masks M$, NRE M$, wafer $, MTr/mm^2
+    static const std::vector<TechnologyNode> nodes = {
+        {"180nm", 180, 560, 6, 1.80, 4.00, 80.0, 0.010, 0.56, 0.25, 2.5, 1500, 0.14},
+        {"130nm", 130, 410, 6, 1.50, 3.00, 55.0, 0.030, 0.41, 0.50, 5.0, 1800, 0.27},
+        {"90nm", 90, 280, 7, 1.20, 2.20, 40.0, 0.100, 0.28, 1.00, 12.0, 2200, 0.55},
+        {"65nm", 65, 200, 8, 1.10, 1.60, 30.0, 0.180, 0.20, 1.80, 20.0, 2700, 1.1},
+        {"40nm", 40, 140, 9, 1.00, 1.15, 22.0, 0.300, 0.14, 3.00, 35.0, 3500, 2.4},
+        {"28nm", 28, 100, 10, 0.95, 0.85, 16.0, 0.450, 0.10, 4.50, 55.0, 4200, 4.5},
+        {"20nm", 20, 64, 10, 0.90, 0.62, 12.0, 0.600, 0.064, 7.00, 120.0, 5200, 8.0},
+        {"14nm", 14, 52, 11, 0.80, 0.45, 9.0, 0.700, 0.052, 10.00, 180.0, 6500, 15.0},
+        {"10nm", 10, 44, 12, 0.75, 0.33, 7.0, 0.800, 0.044, 14.00, 280.0, 8000, 28.0},
+        {"7nm", 7, 36, 13, 0.70, 0.24, 5.5, 0.900, 0.036, 20.00, 400.0, 9500, 50.0},
+        {"5nm", 5, 28, 14, 0.65, 0.18, 4.5, 1.000, 0.028, 30.00, 550.0, 12000, 90.0},
+    };
+    return nodes;
+}
+
+std::optional<TechnologyNode> find_node(const std::string& name) {
+    for (const TechnologyNode& n : standard_nodes()) {
+        if (n.name == name) return n;
+    }
+    return std::nullopt;
+}
+
+}  // namespace janus

@@ -1,0 +1,51 @@
+#pragma once
+/// \file technology.hpp
+/// Technology-node parameter sets. The panel discusses nodes from 180 nm
+/// ("the most designed node") down to 10/7/5 nm; each JanusEDA model
+/// (delay, power, routing pitch, economics) is parameterized by one of
+/// these descriptors so experiments can sweep across nodes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// One manufacturing process node. Electrical values are first-order
+/// scaling models calibrated to public ITRS-era trends — good enough to
+/// reproduce the *shape* of cross-node comparisons, which is all the panel
+/// claims require.
+struct TechnologyNode {
+    std::string name;          ///< e.g. "28nm"
+    double feature_nm = 0;     ///< drawn feature size in nanometers
+    double metal_pitch_nm = 0; ///< minimum metal pitch (single patterning limit is ~80 nm)
+    int max_layers = 0;        ///< metal layers available in the full stack
+    double vdd = 0;            ///< nominal supply voltage (V)
+    double gate_cap_ff = 0;    ///< input capacitance of a min-size inverter (fF)
+    double gate_delay_ps = 0;  ///< FO4-ish delay of a min-size inverter (ps)
+    double leak_nw = 0;        ///< leakage of a min-size inverter (nW) at nominal Vdd
+    double track_um = 0;       ///< site/track pitch used by the placer (um)
+
+    // Economics (E13): all costs in millions of USD except wafer cost.
+    double mask_set_cost_musd = 0; ///< full mask set cost, M$
+    double nre_musd = 0;           ///< typical design NRE at this node, M$
+    double wafer_cost_usd = 0;     ///< processed 300 mm wafer cost, $
+    double transistors_per_mm2_m = 0; ///< logic density, millions of transistors / mm^2
+
+    /// Patterning multiplicity the minimum pitch requires at 193 nm
+    /// immersion: 1 (single), 2 (double), 3 (triple), 4 (quadruple)...
+    int patterning_factor() const;
+};
+
+/// The built-in node table: 180, 130, 90, 65, 40, 28, 20, 14, 10, 7, 5 nm.
+const std::vector<TechnologyNode>& standard_nodes();
+
+/// Finds a node by name (e.g. "28nm"); std::nullopt when unknown.
+std::optional<TechnologyNode> find_node(const std::string& name);
+
+/// Minimum pitch printable with single-pattern 193 nm immersion lithography
+/// (the panel cites "approximately 80 nanometers").
+inline constexpr double kSinglePatternPitchNm = 80.0;
+
+}  // namespace janus

@@ -1,0 +1,100 @@
+#include "janus/netlist/verilog.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace janus {
+namespace {
+
+/// Verilog-safe identifier: JanusEDA names may contain '.'.
+std::string vname(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        out.push_back((std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+                          ? c
+                          : '_');
+    }
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+        out.insert(out.begin(), 'n');
+    }
+    return out;
+}
+
+const char* input_pin_name(int pin) {
+    static const char* names[] = {"A", "B", "C", "D"};
+    return names[pin];
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& nl) {
+    const bool sequential = !nl.sequential_instances().empty();
+
+    // Unique net names: n<id> everywhere, ports aliased with assigns.
+    os << "module " << vname(nl.name()) << " (";
+    bool first = true;
+    const auto port = [&](const std::string& name) {
+        if (!first) os << ", ";
+        os << vname(name);
+        first = false;
+    };
+    if (sequential) port("clk");
+    for (const NetId pi : nl.primary_inputs()) port(nl.net(pi).name);
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        (void)net;
+        port(name);
+    }
+    os << ");\n";
+
+    if (sequential) os << "  input clk;\n";
+    for (const NetId pi : nl.primary_inputs()) {
+        os << "  input " << vname(nl.net(pi).name) << ";\n";
+    }
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        (void)net;
+        os << "  output " << vname(name) << ";\n";
+    }
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        os << "  wire n" << n << ";\n";
+    }
+    // Port aliases.
+    for (const NetId pi : nl.primary_inputs()) {
+        os << "  assign n" << pi << " = " << vname(nl.net(pi).name) << ";\n";
+    }
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        os << "  assign " << vname(name) << " = n" << net << ";\n";
+    }
+
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const Instance& inst = nl.instance(i);
+        const CellType& ct = nl.type_of(i);
+        os << "  " << vname(ct.name) << " " << vname(inst.name) << " (";
+        const int arity = function_arity(ct.function);
+        if (is_sequential(ct.function)) {
+            os << ".CK(clk), .D(n" << inst.fanin[0] << ")";
+            if (ct.function == CellFunction::ScanDff) {
+                os << ", .SI(n" << inst.fanin[1] << "), .SE(n" << inst.fanin[2]
+                   << ")";
+            }
+            os << ", .Q(n" << inst.output << ")";
+        } else {
+            for (int p = 0; p < arity; ++p) {
+                os << "." << input_pin_name(p) << "(n"
+                   << inst.fanin[static_cast<std::size_t>(p)] << "), ";
+            }
+            os << ".Y(n" << inst.output << ")";
+        }
+        os << ");\n";
+    }
+    os << "endmodule\n";
+}
+
+std::string netlist_to_verilog(const Netlist& nl) {
+    std::ostringstream ss;
+    write_verilog(ss, nl);
+    return ss.str();
+}
+
+}  // namespace janus

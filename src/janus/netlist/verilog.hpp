@@ -1,0 +1,23 @@
+#pragma once
+/// \file verilog.hpp
+/// Structural Verilog export. JanusEDA's native format is .jnl
+/// (io.hpp); this writer emits an equivalent gate-level Verilog module
+/// so mapped netlists can be consumed by external tools and testbenches.
+
+#include <iosfwd>
+#include <string>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// Writes `nl` as one Verilog module. Cell pins are named A, B, C, D for
+/// inputs (per arity) and Y for the output; sequential cells use D/SI/SE
+/// inputs, Q output, and a CK pin tied to the module's `clk` port (added
+/// automatically when the design has flops).
+void write_verilog(std::ostream& os, const Netlist& nl);
+
+/// Convenience: Verilog text of a netlist.
+std::string netlist_to_verilog(const Netlist& nl);
+
+}  // namespace janus

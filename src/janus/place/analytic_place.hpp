@@ -1,0 +1,54 @@
+#pragma once
+/// \file analytic_place.hpp
+/// Global placement: quadratic (clique-model) wirelength minimization
+/// solved by Gauss-Seidel, followed by bin-based spreading to resolve
+/// density. This is the throughput path used for large designs (E5).
+
+#include <cstdint>
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/netlist/technology.hpp"
+#include "janus/util/geometry.hpp"
+
+namespace janus {
+
+/// Die/row geometry derived from the design.
+struct PlacementArea {
+    Rect die;                  ///< in nm
+    std::int64_t row_height = 0;  ///< nm
+    std::int64_t site_width = 0;  ///< nm
+    int num_rows = 0;
+};
+
+/// Computes a square die sized for `utilization` and builds the row grid.
+PlacementArea make_placement_area(const Netlist& nl, const TechnologyNode& node,
+                                  double utilization = 0.7);
+
+struct AnalyticPlaceOptions {
+    int solver_iterations = 300;  // CG iterations (cheap; long meshes need hundreds)
+    int spreading_iterations = 12;
+    std::size_t density_bins = 16;  ///< bins per axis for spreading
+    std::uint64_t seed = 1;
+};
+
+struct PlaceQuality {
+    double hpwl_um = 0;       ///< total half-perimeter wirelength
+    double runtime_ms = 0;    ///< wall time of the placement call
+};
+
+/// Places all instances of `nl` inside `area` (positions written into the
+/// netlist; `placed` set). Primary I/O is modeled as fixed pads spread
+/// around the die boundary.
+PlaceQuality analytic_place(Netlist& nl, const PlacementArea& area,
+                            const AnalyticPlaceOptions& opts = {});
+
+/// Total HPWL of all nets (um) using instance positions and boundary pads.
+double total_hpwl_um(const Netlist& nl, const PlacementArea& area);
+
+/// Boundary pad location for primary input `k` of `n_in` (west edge, top
+/// to bottom) or primary output `k` of `n_out` (east edge). All placement
+/// and timing code shares this assignment.
+Point input_pad_position(const Rect& die, std::size_t k, std::size_t n_in);
+Point output_pad_position(const Rect& die, std::size_t k, std::size_t n_out);
+
+}  // namespace janus

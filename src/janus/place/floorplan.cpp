@@ -1,0 +1,298 @@
+#include "janus/place/floorplan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+constexpr int kVCut = -1;  // children side by side (widths add)
+constexpr int kHCut = -2;  // children stacked (heights add)
+
+/// One realizable shape of a subtree, with back-pointers to the child
+/// shapes that produced it.
+struct Shape {
+    double w = 0, h = 0;
+    int left = -1, right = -1;  // child shape indices (-1 for leaves)
+};
+
+using ShapeList = std::vector<Shape>;
+
+/// Removes dominated shapes (larger in both dimensions) and caps the list.
+void prune(ShapeList& shapes) {
+    std::sort(shapes.begin(), shapes.end(), [](const Shape& a, const Shape& b) {
+        return a.w < b.w || (a.w == b.w && a.h < b.h);
+    });
+    ShapeList kept;
+    double best_h = 1e300;
+    for (const Shape& s : shapes) {
+        if (s.h < best_h) {
+            kept.push_back(s);
+            best_h = s.h;
+        }
+    }
+    if (kept.size() > 10) {
+        // Keep a spread of 10 entries.
+        ShapeList sub;
+        for (std::size_t i = 0; i < 10; ++i) {
+            sub.push_back(kept[i * (kept.size() - 1) / 9]);
+        }
+        kept = std::move(sub);
+    }
+    shapes = std::move(kept);
+}
+
+struct EvalNode {
+    ShapeList shapes;
+    int op = 0;           // 0 for leaf, else kVCut/kHCut
+    int child_a = -1, child_b = -1;  // eval-node indices
+    std::size_t block = 0;           // leaf: block index
+};
+
+struct Evaluation {
+    std::vector<EvalNode> nodes;
+    int root = -1;
+};
+
+Evaluation evaluate_shapes(const std::vector<int>& expr,
+                           const std::vector<ShapeList>& leaf_shapes) {
+    Evaluation ev;
+    std::vector<int> stack;
+    for (const int tok : expr) {
+        if (tok >= 0) {
+            EvalNode n;
+            n.shapes = leaf_shapes[static_cast<std::size_t>(tok)];
+            n.block = static_cast<std::size_t>(tok);
+            ev.nodes.push_back(std::move(n));
+            stack.push_back(static_cast<int>(ev.nodes.size()) - 1);
+        } else {
+            assert(stack.size() >= 2);
+            const int b = stack.back();
+            stack.pop_back();
+            const int a = stack.back();
+            stack.pop_back();
+            EvalNode n;
+            n.op = tok;
+            n.child_a = a;
+            n.child_b = b;
+            const ShapeList& sa = ev.nodes[static_cast<std::size_t>(a)].shapes;
+            const ShapeList& sb = ev.nodes[static_cast<std::size_t>(b)].shapes;
+            for (std::size_t i = 0; i < sa.size(); ++i) {
+                for (std::size_t j = 0; j < sb.size(); ++j) {
+                    Shape s;
+                    if (tok == kVCut) {
+                        s.w = sa[i].w + sb[j].w;
+                        s.h = std::max(sa[i].h, sb[j].h);
+                    } else {
+                        s.w = std::max(sa[i].w, sb[j].w);
+                        s.h = sa[i].h + sb[j].h;
+                    }
+                    s.left = static_cast<int>(i);
+                    s.right = static_cast<int>(j);
+                    n.shapes.push_back(s);
+                }
+            }
+            prune(n.shapes);
+            ev.nodes.push_back(std::move(n));
+            stack.push_back(static_cast<int>(ev.nodes.size()) - 1);
+        }
+    }
+    assert(stack.size() == 1);
+    ev.root = stack.back();
+    return ev;
+}
+
+/// Recursively assigns rectangles given a chosen shape per node.
+void place_rec(const Evaluation& ev, int node, int shape_idx, double x, double y,
+               std::vector<Rect>& out) {
+    const EvalNode& n = ev.nodes[static_cast<std::size_t>(node)];
+    const Shape& s = n.shapes[static_cast<std::size_t>(shape_idx)];
+    if (n.op == 0) {
+        // nm resolution.
+        out[n.block] = Rect{static_cast<std::int64_t>(x * 1000),
+                            static_cast<std::int64_t>(y * 1000),
+                            static_cast<std::int64_t>((x + s.w) * 1000),
+                            static_cast<std::int64_t>((y + s.h) * 1000)};
+        return;
+    }
+    const auto& ca = ev.nodes[static_cast<std::size_t>(n.child_a)];
+    (void)ca;
+    if (n.op == kVCut) {
+        place_rec(ev, n.child_a, s.left, x, y, out);
+        const double wl =
+            ev.nodes[static_cast<std::size_t>(n.child_a)].shapes[static_cast<std::size_t>(s.left)].w;
+        place_rec(ev, n.child_b, s.right, x + wl, y, out);
+    } else {
+        place_rec(ev, n.child_a, s.left, x, y, out);
+        const double hl =
+            ev.nodes[static_cast<std::size_t>(n.child_a)].shapes[static_cast<std::size_t>(s.left)].h;
+        place_rec(ev, n.child_b, s.right, x, y + hl, out);
+    }
+}
+
+double wirelength_um(const std::vector<Block>& blocks,
+                     const std::vector<Rect>& rects) {
+    double wl = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (const auto& [j, w] : blocks[i].connections) {
+            if (j <= i) continue;  // count each pair once
+            const Point a = rects[i].center();
+            const Point b = rects[j].center();
+            wl += w * static_cast<double>(manhattan(a, b)) * 1e-3;
+        }
+    }
+    return wl;
+}
+
+struct CostedPlacement {
+    double cost = 0;
+    double area_um2 = 0;
+    double wl_um = 0;
+    std::vector<Rect> rects;
+};
+
+CostedPlacement cost_of(const std::vector<int>& expr,
+                        const std::vector<Block>& blocks,
+                        const std::vector<ShapeList>& leaf_shapes,
+                        double lambda) {
+    const Evaluation ev = evaluate_shapes(expr, leaf_shapes);
+    const auto& root_shapes = ev.nodes[static_cast<std::size_t>(ev.root)].shapes;
+    // Pick the min-area root shape, then derive positions and wirelength.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < root_shapes.size(); ++i) {
+        if (root_shapes[i].w * root_shapes[i].h <
+            root_shapes[best].w * root_shapes[best].h) {
+            best = i;
+        }
+    }
+    CostedPlacement cp;
+    cp.rects.assign(blocks.size(), Rect{});
+    place_rec(ev, ev.root, static_cast<int>(best), 0, 0, cp.rects);
+    cp.area_um2 = root_shapes[best].w * root_shapes[best].h;
+    cp.wl_um = wirelength_um(blocks, cp.rects);
+    cp.cost = cp.area_um2 + lambda * cp.wl_um;
+    return cp;
+}
+
+}  // namespace
+
+FloorplanResult floorplan(const std::vector<Block>& blocks,
+                          const FloorplanOptions& opts) {
+    if (blocks.empty()) throw std::invalid_argument("floorplan: no blocks");
+    Rng rng(opts.seed);
+
+    // Candidate shapes per block across its aspect range.
+    std::vector<ShapeList> leaf_shapes(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const Block& b = blocks[i];
+        const int steps = std::max(1, opts.aspect_steps);
+        for (int s = 0; s < steps; ++s) {
+            const double t = steps == 1 ? 0.5 : static_cast<double>(s) / (steps - 1);
+            const double aspect = b.min_aspect + t * (b.max_aspect - b.min_aspect);
+            Shape sh;
+            sh.w = std::sqrt(b.area_um2 / aspect);
+            sh.h = b.area_um2 / sh.w;
+            leaf_shapes[i].push_back(sh);
+        }
+        prune(leaf_shapes[i]);
+    }
+
+    // Initial expression: b0 b1 V b2 H b3 V ... (alternating cuts).
+    std::vector<int> expr;
+    expr.push_back(0);
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+        expr.push_back(static_cast<int>(i));
+        expr.push_back(i % 2 ? kVCut : kHCut);
+    }
+
+    CostedPlacement current = cost_of(expr, blocks, leaf_shapes, opts.wirelength_weight);
+    std::vector<int> best_expr = expr;
+    CostedPlacement best = current;
+
+    const auto operand_positions = [&](const std::vector<int>& e) {
+        std::vector<std::size_t> pos;
+        for (std::size_t i = 0; i < e.size(); ++i) {
+            if (e[i] >= 0) pos.push_back(i);
+        }
+        return pos;
+    };
+
+    for (double temp = opts.initial_temperature; temp > opts.final_temperature;
+         temp *= opts.cooling) {
+        for (int m = 0; m < opts.moves_per_temperature; ++m) {
+            std::vector<int> cand = expr;
+            const int move = static_cast<int>(rng.next_below(3));
+            if (move == 0 && blocks.size() >= 2) {
+                // Swap two random operands.
+                const auto pos = operand_positions(cand);
+                const std::size_t a = pos[rng.pick_index(pos.size())];
+                std::size_t b = pos[rng.pick_index(pos.size())];
+                if (a == b) continue;
+                std::swap(cand[a], cand[b]);
+            } else if (move == 1) {
+                // Complement one operator.
+                std::vector<std::size_t> ops;
+                for (std::size_t i = 0; i < cand.size(); ++i) {
+                    if (cand[i] < 0) ops.push_back(i);
+                }
+                const std::size_t p = ops[rng.pick_index(ops.size())];
+                cand[p] = cand[p] == kVCut ? kHCut : kVCut;
+            } else {
+                // Swap adjacent operand/operator when the result remains a
+                // valid postfix (balloting property).
+                const std::size_t p = 1 + rng.pick_index(cand.size() - 1);
+                if ((cand[p] < 0) == (cand[p - 1] < 0)) continue;
+                std::swap(cand[p], cand[p - 1]);
+                // Balloting property: every prefix must keep the operand
+                // stack depth >= 2 before applying an operator, and the
+                // whole expression must reduce to exactly one result.
+                int depth = 0;
+                bool ok = true;
+                for (const int tok : cand) {
+                    if (tok >= 0) {
+                        ++depth;
+                    } else {
+                        if (depth < 2) {
+                            ok = false;
+                            break;
+                        }
+                        --depth;
+                    }
+                }
+                if (!ok || depth != 1) continue;
+            }
+
+            const CostedPlacement cnd =
+                cost_of(cand, blocks, leaf_shapes, opts.wirelength_weight);
+            const double delta = cnd.cost - current.cost;
+            if (delta <= 0 ||
+                rng.next_double() < std::exp(-delta / (temp * std::max(1.0, current.cost)))) {
+                expr = std::move(cand);
+                current = cnd;
+                if (current.cost < best.cost) {
+                    best = current;
+                    best_expr = expr;
+                }
+            }
+        }
+    }
+
+    FloorplanResult res;
+    res.blocks.reserve(blocks.size());
+    Rect bbox;
+    double block_area = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        res.blocks.push_back(PlacedBlock{best.rects[i]});
+        bbox = bounding_box(bbox, best.rects[i]);
+        block_area += blocks[i].area_um2;
+    }
+    res.bounding_box = bbox;
+    res.area_um2 = best.area_um2;
+    res.utilization = best.area_um2 > 0 ? block_area / best.area_um2 : 0;
+    res.wirelength_um = best.wl_um;
+    return res;
+}
+
+}  // namespace janus

@@ -1,0 +1,138 @@
+#include "janus/place/sa_place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "janus/util/rng.hpp"
+
+namespace janus {
+namespace {
+
+struct NetGeom {
+    std::vector<InstId> insts;
+    std::vector<Point> fixed;
+};
+
+double net_hpwl_um(const Netlist& nl, const NetGeom& g) {
+    if (g.insts.size() + g.fixed.size() < 2) return 0;
+    std::int64_t minx = INT64_MAX, maxx = INT64_MIN, miny = INT64_MAX, maxy = INT64_MIN;
+    const auto acc = [&](const Point& p) {
+        minx = std::min(minx, p.x);
+        maxx = std::max(maxx, p.x);
+        miny = std::min(miny, p.y);
+        maxy = std::max(maxy, p.y);
+    };
+    for (const InstId i : g.insts) acc(nl.instance(i).position);
+    for (const Point& p : g.fixed) acc(p);
+    return static_cast<double>((maxx - minx) + (maxy - miny)) * 1e-3;
+}
+
+}  // namespace
+
+SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
+                        const SaPlaceOptions& opts) {
+    SaPlaceResult res;
+    Rng rng(opts.seed);
+
+    // Net geometry and instance->net incidence.
+    std::vector<NetGeom> nets(nl.num_nets());
+    const std::size_t n_in = nl.primary_inputs().size();
+    const std::size_t n_out = nl.primary_outputs().size();
+    std::size_t k = 0;
+    for (const NetId pi : nl.primary_inputs()) {
+        nets[pi].fixed.push_back(input_pad_position(area.die, k++, n_in));
+    }
+    k = 0;
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        (void)name;
+        nets[net].fixed.push_back(output_pad_position(area.die, k++, n_out));
+    }
+    std::vector<std::vector<NetId>> nets_of(nl.num_instances());
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const Instance& inst = nl.instance(i);
+        nets[inst.output].insts.push_back(i);
+        nets_of[i].push_back(inst.output);
+        const int arity = function_arity(nl.type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = inst.fanin[static_cast<std::size_t>(p)];
+            if (n == kNoNet) continue;
+            nets[n].insts.push_back(i);
+            nets_of[i].push_back(n);
+        }
+        // Deduplicate: a net must appear once per instance or the
+        // incremental delta would double-count it.
+        std::sort(nets_of[i].begin(), nets_of[i].end());
+        nets_of[i].erase(std::unique(nets_of[i].begin(), nets_of[i].end()),
+                         nets_of[i].end());
+    }
+
+    double hpwl = 0;
+    for (const NetGeom& g : nets) hpwl += net_hpwl_um(nl, g);
+    res.initial_hpwl_um = hpwl;
+
+    // Cells grouped by width in sites: swaps stay legal within a group.
+    std::map<std::int64_t, std::vector<InstId>> by_width;
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const auto w = static_cast<std::int64_t>(
+            std::ceil(nl.type_of(i).width_tracks));
+        by_width[w].push_back(i);
+    }
+    std::vector<std::vector<InstId>> groups;
+    for (auto& [w, g] : by_width) {
+        if (g.size() >= 2) groups.push_back(std::move(g));
+    }
+    if (groups.empty()) {
+        res.final_hpwl_um = hpwl;
+        return res;
+    }
+
+    const std::size_t total_moves =
+        static_cast<std::size_t>(opts.moves_per_cell) * nl.num_instances();
+    const std::size_t chunk = std::max<std::size_t>(1, total_moves / 60);
+    double temp = opts.initial_temp_frac *
+                  (hpwl / std::max<std::size_t>(1, nl.num_nets()));
+
+    const auto affected_delta = [&](InstId a, InstId b, double& before) {
+        before = 0;
+        for (const NetId n : nets_of[a]) before += net_hpwl_um(nl, nets[n]);
+        for (const NetId n : nets_of[b]) {
+            // Avoid double counting shared nets.
+            bool shared = false;
+            for (const NetId m : nets_of[a]) {
+                if (m == n) {
+                    shared = true;
+                    break;
+                }
+            }
+            if (!shared) before += net_hpwl_um(nl, nets[n]);
+        }
+    };
+
+    for (std::size_t move = 0; move < total_moves; ++move) {
+        if (move % chunk == chunk - 1) temp *= opts.cooling;
+        auto& group = groups[rng.pick_index(groups.size())];
+        const InstId a = group[rng.pick_index(group.size())];
+        const InstId b = group[rng.pick_index(group.size())];
+        if (a == b) continue;
+        ++res.total_moves;
+
+        double before = 0;
+        affected_delta(a, b, before);
+        std::swap(nl.instance(a).position, nl.instance(b).position);
+        double after = 0;
+        affected_delta(a, b, after);
+        const double delta = after - before;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / std::max(1e-12, temp))) {
+            hpwl += delta;
+            ++res.accepted_moves;
+        } else {
+            std::swap(nl.instance(a).position, nl.instance(b).position);
+        }
+    }
+    res.final_hpwl_um = hpwl;
+    return res;
+}
+
+}  // namespace janus

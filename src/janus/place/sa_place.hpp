@@ -1,0 +1,36 @@
+#pragma once
+/// \file sa_place.hpp
+/// Simulated-annealing detailed placement: swap/relocate moves over a
+/// legal placement, accepting on HPWL. The quality-oriented complement to
+/// the analytic flow; also an ablation point (E6 tunes its schedule).
+
+#include <cstdint>
+
+#include "janus/place/analytic_place.hpp"
+
+namespace janus {
+
+struct SaPlaceOptions {
+    int moves_per_cell = 50;     ///< total moves = this * num cells
+    double initial_temp_frac = 0.05;  ///< T0 as a fraction of initial HPWL/net
+    double cooling = 0.95;
+    std::uint64_t seed = 1;
+};
+
+struct SaPlaceResult {
+    double initial_hpwl_um = 0;
+    double final_hpwl_um = 0;
+    std::size_t accepted_moves = 0;
+    std::size_t total_moves = 0;
+    double improvement() const {
+        return initial_hpwl_um > 0 ? 1.0 - final_hpwl_um / initial_hpwl_um : 0.0;
+    }
+};
+
+/// Refines a legal placement with cell-swap annealing; the placement
+/// stays legal (swaps exchange row slots of equal-width cells, relocations
+/// use vacant sites of sufficient width).
+SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
+                        const SaPlaceOptions& opts = {});
+
+}  // namespace janus

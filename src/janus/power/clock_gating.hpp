@@ -1,0 +1,48 @@
+#pragma once
+/// \file clock_gating.hpp
+/// Clock-gating planning: groups flops with low data activity under
+/// integrated clock-gating (ICG) cells and estimates the clock-tree power
+/// saved — one of the "design for power" techniques the panel credits
+/// with preventing dark silicon.
+
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/power/activity.hpp"
+#include "janus/netlist/technology.hpp"
+
+namespace janus {
+
+struct ClockGatingOptions {
+    /// Flops whose D-input toggle rate is below this are gating candidates.
+    double activity_threshold = 0.15;
+    /// Minimum flops per ICG cell (smaller groups don't amortize the ICG).
+    std::size_t min_group_size = 4;
+    double frequency_mhz = 500.0;
+};
+
+struct ClockGatingGroup {
+    std::vector<InstId> flops;
+    double enable_probability = 0.0;  ///< fraction of cycles the group clocks
+};
+
+struct ClockGatingPlan {
+    std::vector<ClockGatingGroup> groups;
+    std::size_t gated_flops = 0;
+    std::size_t total_flops = 0;
+    double baseline_clock_mw = 0.0;
+    double gated_clock_mw = 0.0;  ///< clock power after gating (incl. ICGs)
+    double saving_fraction() const {
+        return baseline_clock_mw > 0
+                   ? 1.0 - gated_clock_mw / baseline_clock_mw
+                   : 0.0;
+    }
+};
+
+/// Plans clock gating from activity data. Flops are grouped by similar
+/// D-activity (a proxy for a shared enable condition).
+ClockGatingPlan plan_clock_gating(const Netlist& nl, const TechnologyNode& node,
+                                  const ActivityReport& activity,
+                                  const ClockGatingOptions& opts = {});
+
+}  // namespace janus

@@ -1,0 +1,236 @@
+#include "janus/power/upf.hpp"
+
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace janus {
+namespace {
+
+/// Tokenizes one command line; braces group a list into one token stream
+/// segment: "a -x {b c}" -> ["a", "-x", "{", "b", "c", "}"].
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : line) {
+        if (c == '{' || c == '}') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            out.push_back(std::string(1, c));
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+}
+
+struct PendingDomain {
+    std::vector<std::string> elements;
+    double voltage = -1;
+    bool shutdown = false;
+    double on_fraction = 1.0;
+};
+
+std::map<std::string, InstId> name_index(const Netlist& nl) {
+    std::map<std::string, InstId> idx;
+    for (InstId i = 0; i < nl.num_instances(); ++i) idx[nl.instance(i).name] = i;
+    return idx;
+}
+
+}  // namespace
+
+PowerIntent read_power_intent(std::istream& is, const Netlist& nl,
+                              IntentDialect dialect, double default_voltage) {
+    std::map<std::string, PendingDomain> domains;
+    std::map<std::string, double> supply_voltage;  // UPF nets / CPF conditions
+    std::size_t line_no = 0;
+    std::string line;
+
+    const auto fail = [&](const std::string& why) {
+        throw std::runtime_error("power intent line " + std::to_string(line_no) +
+                                 ": " + why);
+    };
+    const auto read_list = [&](const std::vector<std::string>& toks,
+                               std::size_t& i) {
+        std::vector<std::string> items;
+        if (i >= toks.size() || toks[i] != "{") fail("expected '{' list");
+        ++i;
+        while (i < toks.size() && toks[i] != "}") items.push_back(toks[i++]);
+        if (i >= toks.size()) fail("unterminated list");
+        ++i;
+        return items;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const auto toks = tokenize(line);
+        if (toks.empty()) continue;
+        const std::string& cmd = toks[0];
+
+        if (dialect == IntentDialect::Upf) {
+            if (cmd == "create_power_domain") {
+                if (toks.size() < 2) fail("missing domain name");
+                PendingDomain& d = domains[toks[1]];
+                for (std::size_t i = 2; i < toks.size();) {
+                    if (toks[i] == "-elements") {
+                        ++i;
+                        d.elements = read_list(toks, i);
+                    } else {
+                        fail("unknown option " + toks[i]);
+                    }
+                }
+            } else if (cmd == "create_supply_net") {
+                if (toks.size() < 4 || toks[2] != "-voltage") {
+                    fail("create_supply_net <name> -voltage <v>");
+                }
+                supply_voltage[toks[1]] = std::stod(toks[3]);
+            } else if (cmd == "associate_supply_net") {
+                if (toks.size() < 4 || toks[2] != "-domain") {
+                    fail("associate_supply_net <net> -domain <domain>");
+                }
+                if (!supply_voltage.count(toks[1])) fail("unknown supply " + toks[1]);
+                domains[toks[3]].voltage = supply_voltage[toks[1]];
+            } else if (cmd == "set_domain_shutdown") {
+                if (toks.size() < 4 || toks[2] != "-on_fraction") {
+                    fail("set_domain_shutdown <domain> -on_fraction <f>");
+                }
+                PendingDomain& d = domains[toks[1]];
+                d.shutdown = true;
+                d.on_fraction = std::stod(toks[3]);
+            } else {
+                fail("unknown UPF command " + cmd);
+            }
+        } else {  // CPF dialect
+            if (cmd == "create_power_domain") {
+                std::string name;
+                std::vector<std::string> elements;
+                for (std::size_t i = 1; i < toks.size();) {
+                    if (toks[i] == "-name" && i + 1 < toks.size()) {
+                        name = toks[i + 1];
+                        i += 2;
+                    } else if (toks[i] == "-instances") {
+                        ++i;
+                        elements = read_list(toks, i);
+                    } else {
+                        fail("unknown option " + toks[i]);
+                    }
+                }
+                if (name.empty()) fail("create_power_domain needs -name");
+                domains[name].elements = std::move(elements);
+            } else if (cmd == "create_nominal_condition") {
+                std::string name;
+                double v = -1;
+                for (std::size_t i = 1; i + 1 < toks.size(); i += 2) {
+                    if (toks[i] == "-name") name = toks[i + 1];
+                    if (toks[i] == "-voltage") v = std::stod(toks[i + 1]);
+                }
+                if (name.empty() || v < 0) fail("bad create_nominal_condition");
+                supply_voltage[name] = v;
+            } else if (cmd == "update_power_domain") {
+                std::string name;
+                for (std::size_t i = 1; i < toks.size();) {
+                    if (toks[i] == "-name" && i + 1 < toks.size()) {
+                        name = toks[i + 1];
+                        i += 2;
+                    } else if (toks[i] == "-nominal" && i + 1 < toks.size()) {
+                        if (name.empty()) fail("-nominal before -name");
+                        if (!supply_voltage.count(toks[i + 1])) {
+                            fail("unknown condition " + toks[i + 1]);
+                        }
+                        domains[name].voltage = supply_voltage[toks[i + 1]];
+                        i += 2;
+                    } else if (toks[i] == "-shutoff") {
+                        if (name.empty()) fail("-shutoff before -name");
+                        domains[name].shutdown = true;
+                        ++i;
+                    } else if (toks[i] == "-duty" && i + 1 < toks.size()) {
+                        if (name.empty()) fail("-duty before -name");
+                        domains[name].on_fraction = std::stod(toks[i + 1]);
+                        i += 2;
+                    } else {
+                        fail("unknown option " + toks[i]);
+                    }
+                }
+            } else {
+                fail("unknown CPF command " + cmd);
+            }
+        }
+    }
+
+    PowerIntent intent(nl, default_voltage);
+    const auto idx = name_index(nl);
+    for (const auto& [name, pd] : domains) {
+        PowerDomain dom;
+        dom.name = name;
+        dom.voltage = pd.voltage > 0 ? pd.voltage : default_voltage;
+        dom.can_shutdown = pd.shutdown;
+        dom.on_fraction = pd.on_fraction;
+        for (const std::string& el : pd.elements) {
+            const auto it = idx.find(el);
+            if (it == idx.end()) {
+                throw std::runtime_error("power intent: unknown instance " + el);
+            }
+            dom.members.push_back(it->second);
+        }
+        intent.add_domain(std::move(dom));
+    }
+    return intent;
+}
+
+void write_power_intent(std::ostream& os, const PowerIntent& intent,
+                        const Netlist& nl, IntentDialect dialect) {
+    // Domain 0 is the implicit default; emit the rest.
+    for (std::size_t d = 1; d < intent.domains().size(); ++d) {
+        const PowerDomain& dom = intent.domains()[d];
+        if (dialect == IntentDialect::Upf) {
+            os << "create_power_domain " << dom.name << " -elements {";
+            for (const InstId i : dom.members) os << " " << nl.instance(i).name;
+            os << " }\n";
+            os << "create_supply_net V_" << dom.name << " -voltage " << dom.voltage
+               << "\n";
+            os << "associate_supply_net V_" << dom.name << " -domain " << dom.name
+               << "\n";
+            if (dom.can_shutdown) {
+                os << "set_domain_shutdown " << dom.name << " -on_fraction "
+                   << dom.on_fraction << "\n";
+            }
+        } else {
+            os << "create_power_domain -name " << dom.name << " -instances {";
+            for (const InstId i : dom.members) os << " " << nl.instance(i).name;
+            os << " }\n";
+            os << "create_nominal_condition -name nc_" << dom.name << " -voltage "
+               << dom.voltage << "\n";
+            os << "update_power_domain -name " << dom.name << " -nominal nc_"
+               << dom.name << "\n";
+            if (dom.can_shutdown) {
+                os << "update_power_domain -name " << dom.name << " -shutoff -duty "
+                   << dom.on_fraction << "\n";
+            }
+        }
+    }
+}
+
+std::string convert_power_intent(const std::string& text, const Netlist& nl,
+                                 IntentDialect from, IntentDialect to,
+                                 double default_voltage) {
+    std::istringstream in(text);
+    const PowerIntent intent = read_power_intent(in, nl, from, default_voltage);
+    std::ostringstream out;
+    write_power_intent(out, intent, nl, to);
+    return out.str();
+}
+
+}  // namespace janus

@@ -1,0 +1,47 @@
+#pragma once
+/// \file upf.hpp
+/// Power-intent file parsing in two rival dialects. Panelist Rossi: "The
+/// same happened with UPF and CPF for the description of the power
+/// intent, with the associated ambiguity in the case of a multi-vendor
+/// flow." JanusEDA reads both (simplified) dialects into one PowerIntent
+/// and can translate between them — the interoperability layer the panel
+/// wishes had existed.
+///
+/// UPF-flavored syntax (one command per line, '#' comments):
+///   create_power_domain PD1 -elements {inst_a inst_b}
+///   create_supply_net VDD1 -voltage 0.81
+///   associate_supply_net VDD1 -domain PD1
+///   set_domain_shutdown PD1 -on_fraction 0.25
+///
+/// CPF-flavored syntax:
+///   create_power_domain -name PD1 -instances {inst_a inst_b}
+///   create_nominal_condition -name nc1 -voltage 0.81
+///   update_power_domain -name PD1 -nominal nc1
+///   update_power_domain -name PD1 -shutoff -duty 0.25
+
+#include <iosfwd>
+#include <string>
+
+#include "janus/power/power_intent.hpp"
+
+namespace janus {
+
+enum class IntentDialect { Upf, Cpf };
+
+/// Parses power intent in the given dialect against a netlist (instances
+/// are matched by name). Unknown instances and malformed commands throw
+/// std::runtime_error with line information.
+PowerIntent read_power_intent(std::istream& is, const Netlist& nl,
+                              IntentDialect dialect, double default_voltage);
+
+/// Writes a PowerIntent in the chosen dialect; read_power_intent of the
+/// output reproduces the intent (round-trip tested).
+void write_power_intent(std::ostream& os, const PowerIntent& intent,
+                        const Netlist& nl, IntentDialect dialect);
+
+/// Dialect conversion: parse one, emit the other.
+std::string convert_power_intent(const std::string& text, const Netlist& nl,
+                                 IntentDialect from, IntentDialect to,
+                                 double default_voltage);
+
+}  // namespace janus

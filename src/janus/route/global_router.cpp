@@ -1,0 +1,233 @@
+#include "janus/route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "janus/route/line_search.hpp"
+#include "janus/route/maze_router.hpp"
+
+namespace janus {
+namespace {
+
+/// Undirected gcell-edge key for per-net deduplication.
+std::uint64_t edge_key(const GCell& a, const GCell& b, int grid_w) {
+    const auto id = [&](const GCell& c) {
+        return static_cast<std::uint64_t>(c.y) * static_cast<std::uint64_t>(grid_w) +
+               static_cast<std::uint64_t>(c.x);
+    };
+    std::uint64_t x = id(a), y = id(b);
+    if (x > y) std::swap(x, y);
+    return (x << 32) | y;
+}
+
+/// Unique edges of a net's segments as cell pairs.
+std::vector<std::pair<GCell, GCell>> net_edges(const RoutedNet& rn, int grid_w) {
+    std::set<std::uint64_t> seen;
+    std::vector<std::pair<GCell, GCell>> edges;
+    for (const GridRoute& s : rn.segments) {
+        for (std::size_t i = 1; i < s.cells.size(); ++i) {
+            if (seen.insert(edge_key(s.cells[i - 1], s.cells[i], grid_w)).second) {
+                edges.emplace_back(s.cells[i - 1], s.cells[i]);
+            }
+        }
+    }
+    return edges;
+}
+
+void commit_net(GridGraph& grid, const RoutedNet& rn, int grid_w, double sign) {
+    for (const auto& [a, b] : net_edges(rn, grid_w)) {
+        GridRoute e;
+        e.cells = {a, b};
+        if (sign > 0) {
+            grid.add_route(e);
+        } else {
+            grid.remove_route(e);
+        }
+    }
+}
+
+/// L-shaped pattern route between two cells, picking the cheaper corner
+/// under current congestion. O(path length) — the fast first-pass router.
+GridRoute l_route(const GridGraph& grid, GCell from, GCell to) {
+    const auto build = [&](bool x_first) {
+        GridRoute r;
+        GCell c = from;
+        r.cells.push_back(c);
+        const auto step_x = [&] {
+            while (c.x != to.x) {
+                c.x += (to.x > c.x) ? 1 : -1;
+                r.cells.push_back(c);
+            }
+        };
+        const auto step_y = [&] {
+            while (c.y != to.y) {
+                c.y += (to.y > c.y) ? 1 : -1;
+                r.cells.push_back(c);
+            }
+        };
+        if (x_first) {
+            step_x();
+            step_y();
+        } else {
+            step_y();
+            step_x();
+        }
+        return r;
+    };
+    const auto cost = [&](const GridRoute& r) {
+        double c = 0;
+        for (std::size_t i = 1; i < r.cells.size(); ++i) {
+            c += grid.edge_cost(r.cells[i - 1], r.cells[i], 8.0);
+        }
+        return c;
+    };
+    GridRoute a = build(true);
+    const GridRoute b = build(false);
+    return cost(a) <= cost(b) ? a : b;
+}
+
+/// Routes one net as a tree: pins join one at a time via the cheapest path
+/// from the already-routed tree (Steiner-style growth). `pattern` selects
+/// the O(length) L-route first pass; rip-up-and-reroute uses full search.
+void route_net(GridGraph& grid, RoutedNet& rn, const std::vector<GCell>& pins,
+               RouteEngine engine, bool pattern, SearchStats* stats,
+               double congestion_penalty = 8.0) {
+    rn.segments.clear();
+    std::vector<GCell> tree{pins.front()};
+    for (std::size_t p = 1; p < pins.size(); ++p) {
+        std::optional<GridRoute> path;
+        // Nearest tree cell (used by both pattern and line-search modes).
+        const GCell* nearest = &tree.front();
+        int best = 1 << 30;
+        for (const GCell& t : tree) {
+            const int d = std::abs(t.x - pins[p].x) + std::abs(t.y - pins[p].y);
+            if (d < best) {
+                best = d;
+                nearest = &t;
+            }
+        }
+        if (pattern) {
+            path = l_route(grid, *nearest, pins[p]);
+            if (stats) stats->cells_expanded += path->cells.size();
+        } else if (engine == RouteEngine::LineSearch) {
+            path = line_search_route(grid, *nearest, pins[p], {}, stats);
+        }
+        if (!path) {
+            MazeOptions mo;
+            mo.congestion_penalty = congestion_penalty;
+            path = maze_route_from_tree(grid, tree, pins[p], mo, stats);
+        }
+        for (const GCell& c : path->cells) tree.push_back(c);
+        rn.segments.push_back(std::move(*path));
+    }
+}
+
+}  // namespace
+
+GCell gcell_of(const Point& p, const Rect& die, int gx, int gy) {
+    const auto clamp_to = [](std::int64_t v, int n) {
+        return std::clamp<std::int64_t>(v, 0, n - 1);
+    };
+    const std::int64_t w = std::max<std::int64_t>(1, die.width());
+    const std::int64_t h = std::max<std::int64_t>(1, die.height());
+    return GCell{
+        static_cast<int>(clamp_to((p.x - die.lo.x) * gx / w, gx)),
+        static_cast<int>(clamp_to((p.y - die.lo.y) * gy / h, gy))};
+}
+
+GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
+                               const GlobalRouteOptions& opts) {
+    GlobalRouteResult res;
+    const double capacity =
+        opts.capacity_per_layer * (static_cast<double>(opts.routing_layers) / 2.0);
+    GridGraph grid(opts.gcells_x, opts.gcells_y, capacity);
+
+    // Gather per-net pin gcells; pins are sorted by distance to the first
+    // pin so the tree grows outward.
+    std::vector<std::vector<GCell>> net_pins;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        std::vector<GCell> pins;
+        const Net& net = nl.net(n);
+        if (net.driver_kind == DriverKind::Instance &&
+            nl.instance(net.driver_inst).placed) {
+            pins.push_back(gcell_of(nl.instance(net.driver_inst).position, area.die,
+                                    opts.gcells_x, opts.gcells_y));
+        }
+        for (const SinkRef& s : nl.sinks(n)) {
+            if (nl.instance(s.inst).placed) {
+                pins.push_back(gcell_of(nl.instance(s.inst).position, area.die,
+                                        opts.gcells_x, opts.gcells_y));
+            }
+        }
+        std::sort(pins.begin(), pins.end(), [](const GCell& a, const GCell& b) {
+            return a.x < b.x || (a.x == b.x && a.y < b.y);
+        });
+        pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+        if (pins.size() < 2) continue;
+        RoutedNet rn;
+        rn.net = n;
+        res.nets.push_back(std::move(rn));
+        net_pins.push_back(std::move(pins));
+    }
+
+    // Net order: small bounding boxes first.
+    std::vector<std::size_t> order(res.nets.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto bbox_size = [&](std::size_t i) {
+        int minx = 1 << 30, maxx = 0, miny = 1 << 30, maxy = 0;
+        for (const GCell& p : net_pins[i]) {
+            minx = std::min(minx, p.x);
+            maxx = std::max(maxx, p.x);
+            miny = std::min(miny, p.y);
+            maxy = std::max(maxy, p.y);
+        }
+        return (maxx - minx) + (maxy - miny);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return bbox_size(a) < bbox_size(b); });
+
+    SearchStats stats;
+    // First pass: cheap pattern routing for the maze engine (full search
+    // would spend die-sized Dijkstras on nets that route trivially); the
+    // line-search engine demonstrates its own probes everywhere.
+    const bool pattern_first = opts.engine == RouteEngine::Maze;
+    for (const std::size_t i : order) {
+        route_net(grid, res.nets[i], net_pins[i], opts.engine, pattern_first,
+                  &stats);
+        commit_net(grid, res.nets[i], opts.gcells_x, +1);
+    }
+
+    // Negotiated rip-up-and-reroute on congested nets.
+    int iter = 0;
+    for (; iter < opts.max_iterations && grid.total_overflow() > 0; ++iter) {
+        grid.accumulate_history();
+        for (const std::size_t i : order) {
+            RoutedNet& rn = res.nets[i];
+            bool congested = false;
+            for (const auto& [a, b] : net_edges(rn, opts.gcells_x)) {
+                if (!grid.edge_free(a, b)) {
+                    congested = true;
+                    break;
+                }
+            }
+            if (!congested) continue;
+            commit_net(grid, rn, opts.gcells_x, -1);
+            // Negotiation: full edges repel harder every iteration.
+            route_net(grid, rn, net_pins[i], opts.engine, false, &stats,
+                      8.0 * (1.0 + iter));
+            commit_net(grid, rn, opts.gcells_x, +1);
+        }
+    }
+
+    res.iterations = iter;
+    res.total_overflow = grid.total_overflow();
+    res.overflowed_edges = grid.overflowed_edges();
+    res.search_cells_expanded = stats.cells_expanded;
+    for (const RoutedNet& rn : res.nets) {
+        res.total_wirelength += net_edges(rn, opts.gcells_x).size();
+    }
+    return res;
+}
+
+}  // namespace janus

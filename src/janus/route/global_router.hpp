@@ -1,0 +1,55 @@
+#pragma once
+/// \file global_router.hpp
+/// Full-design global routing: multi-pin nets are decomposed into two-pin
+/// segments (star topology on the pin closest to the centroid), routed
+/// with the selected engine, and overflow is resolved by negotiated
+/// rip-up-and-reroute.
+
+#include <cstdint>
+#include <vector>
+
+#include "janus/place/analytic_place.hpp"
+#include "janus/route/grid_graph.hpp"
+
+namespace janus {
+
+enum class RouteEngine { Maze, LineSearch };
+
+struct GlobalRouteOptions {
+    int gcells_x = 32;
+    int gcells_y = 32;
+    /// Tracks per gcell edge; derived from layer count in route_design.
+    double capacity_per_layer = 4.0;
+    int routing_layers = 6;
+    RouteEngine engine = RouteEngine::Maze;
+    int max_iterations = 12;  ///< rip-up-and-reroute rounds
+};
+
+struct RoutedNet {
+    NetId net = 0;
+    std::vector<GridRoute> segments;  ///< one per two-pin connection
+    std::size_t wirelength() const {
+        std::size_t w = 0;
+        for (const GridRoute& s : segments) w += s.length();
+        return w;
+    }
+};
+
+struct GlobalRouteResult {
+    std::vector<RoutedNet> nets;
+    std::size_t total_wirelength = 0;  ///< gcell edge units
+    double total_overflow = 0;
+    std::size_t overflowed_edges = 0;
+    int iterations = 0;
+    std::size_t search_cells_expanded = 0;
+    bool success() const { return total_overflow == 0; }
+};
+
+/// Routes every multi-pin net of a placed netlist on a fresh grid.
+GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
+                               const GlobalRouteOptions& opts = {});
+
+/// Maps a placement position to its gcell.
+GCell gcell_of(const Point& p, const Rect& die, int gx, int gy);
+
+}  // namespace janus

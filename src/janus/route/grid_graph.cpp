@@ -1,0 +1,93 @@
+#include "janus/route/grid_graph.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace janus {
+
+GridGraph::GridGraph(int width, int height, double edge_capacity)
+    : width_(width), height_(height), capacity_(edge_capacity) {
+    if (width < 2 || height < 2) {
+        throw std::invalid_argument("GridGraph: grid too small");
+    }
+    h_usage_.assign(static_cast<std::size_t>(width - 1) * height, 0.0);
+    v_usage_.assign(static_cast<std::size_t>(width) * (height - 1), 0.0);
+    h_hist_.assign(h_usage_.size(), 0.0);
+    v_hist_.assign(v_usage_.size(), 0.0);
+}
+
+double& GridGraph::usage_ref(const GCell& a, const GCell& b) {
+    assert(contains(a) && contains(b));
+    if (a.y == b.y) {
+        const int x = std::min(a.x, b.x);
+        assert(std::abs(a.x - b.x) == 1);
+        return h_usage_[h_index(x, a.y)];
+    }
+    assert(a.x == b.x && std::abs(a.y - b.y) == 1);
+    const int y = std::min(a.y, b.y);
+    return v_usage_[v_index(a.x, y)];
+}
+
+double GridGraph::usage_of(const GCell& a, const GCell& b) const {
+    return const_cast<GridGraph*>(this)->usage_ref(a, b);
+}
+
+double GridGraph::history_of(const GCell& a, const GCell& b) const {
+    if (a.y == b.y) return h_hist_[h_index(std::min(a.x, b.x), a.y)];
+    return v_hist_[v_index(a.x, std::min(a.y, b.y))];
+}
+
+double GridGraph::edge_cost(const GCell& from, const GCell& to,
+                            double penalty) const {
+    const double u = usage_of(from, to);
+    const double hist = history_of(from, to);
+    double cost = 1.0 + hist;
+    if (u >= capacity_) {
+        cost += penalty * (1.0 + u - capacity_);
+    } else if (u > 0.8 * capacity_) {
+        cost += penalty * 0.1 * (u - 0.8 * capacity_) / (0.2 * capacity_);
+    }
+    return cost;
+}
+
+bool GridGraph::edge_free(const GCell& from, const GCell& to) const {
+    return usage_of(from, to) < capacity_;
+}
+
+void GridGraph::add_route(const GridRoute& r, double demand) {
+    for (std::size_t i = 1; i < r.cells.size(); ++i) {
+        usage_ref(r.cells[i - 1], r.cells[i]) += demand;
+    }
+}
+
+void GridGraph::remove_route(const GridRoute& r, double demand) {
+    for (std::size_t i = 1; i < r.cells.size(); ++i) {
+        usage_ref(r.cells[i - 1], r.cells[i]) -= demand;
+    }
+}
+
+void GridGraph::accumulate_history(double increment) {
+    for (std::size_t i = 0; i < h_usage_.size(); ++i) {
+        if (h_usage_[i] > capacity_) h_hist_[i] += increment;
+    }
+    for (std::size_t i = 0; i < v_usage_.size(); ++i) {
+        if (v_usage_[i] > capacity_) v_hist_[i] += increment;
+    }
+}
+
+double GridGraph::total_overflow() const {
+    double o = 0;
+    for (const double u : h_usage_) o += std::max(0.0, u - capacity_);
+    for (const double u : v_usage_) o += std::max(0.0, u - capacity_);
+    return o;
+}
+
+std::size_t GridGraph::overflowed_edges() const {
+    std::size_t n = 0;
+    for (const double u : h_usage_) n += (u > capacity_);
+    for (const double u : v_usage_) n += (u > capacity_);
+    return n;
+}
+
+}  // namespace janus

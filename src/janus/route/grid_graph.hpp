@@ -1,0 +1,80 @@
+#pragma once
+/// \file grid_graph.hpp
+/// Global-routing grid: gcells with capacitated edges between 4-neighbors.
+/// Both routers (maze and line-search) and the rip-up-and-reroute loop
+/// operate on this structure.
+
+#include <cstdint>
+#include <vector>
+
+namespace janus {
+
+/// A gcell coordinate.
+struct GCell {
+    int x = 0;
+    int y = 0;
+    friend bool operator==(const GCell&, const GCell&) = default;
+};
+
+/// A routed path: a sequence of adjacent gcells (no layer yet; layer
+/// assignment happens in layer_assign.hpp).
+struct GridRoute {
+    std::vector<GCell> cells;
+    /// Total edge count (wirelength in gcell units).
+    std::size_t length() const { return cells.empty() ? 0 : cells.size() - 1; }
+};
+
+class GridGraph {
+  public:
+    GridGraph(int width, int height, double edge_capacity);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double capacity() const { return capacity_; }
+    bool contains(const GCell& c) const {
+        return c.x >= 0 && c.y >= 0 && c.x < width_ && c.y < height_;
+    }
+
+    /// Usage of the edge from `c` toward +x (horizontal) or +y (vertical).
+    double h_usage(int x, int y) const { return h_usage_[h_index(x, y)]; }
+    double v_usage(int x, int y) const { return v_usage_[v_index(x, y)]; }
+    /// History cost accumulated by the negotiation loop.
+    double h_history(int x, int y) const { return h_hist_[h_index(x, y)]; }
+    double v_history(int x, int y) const { return v_hist_[v_index(x, y)]; }
+
+    /// Cost of crossing an edge for the router: 1 + overflow penalty +
+    /// history. `penalty` scales how hard full edges repel.
+    double edge_cost(const GCell& from, const GCell& to, double penalty) const;
+
+    /// True when the edge has remaining capacity.
+    bool edge_free(const GCell& from, const GCell& to) const;
+
+    /// Commits/uncommits a route's demand.
+    void add_route(const GridRoute& r, double demand = 1.0);
+    void remove_route(const GridRoute& r, double demand = 1.0);
+
+    /// Adds history cost on all overflowed edges (negotiated congestion).
+    void accumulate_history(double increment = 0.5);
+
+    /// Overflow summary: total demand beyond capacity over all edges.
+    double total_overflow() const;
+    std::size_t overflowed_edges() const;
+
+  private:
+    int width_, height_;
+    double capacity_;
+    std::vector<double> h_usage_, v_usage_;  // (width-1)*height, width*(height-1)
+    std::vector<double> h_hist_, v_hist_;
+
+    std::size_t h_index(int x, int y) const {
+        return static_cast<std::size_t>(y) * (width_ - 1) + x;
+    }
+    std::size_t v_index(int x, int y) const {
+        return static_cast<std::size_t>(y) * width_ + x;
+    }
+    double& usage_ref(const GCell& a, const GCell& b);
+    double usage_of(const GCell& a, const GCell& b) const;
+    double history_of(const GCell& a, const GCell& b) const;
+};
+
+}  // namespace janus

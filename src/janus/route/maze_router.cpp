@@ -1,0 +1,118 @@
+#include "janus/route/maze_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace janus {
+
+namespace {
+
+std::optional<GridRoute> maze_route_impl(const GridGraph& grid,
+                                         const std::vector<GCell>& sources,
+                                         GCell dst, const MazeOptions& opts,
+                                         SearchStats* stats,
+                                         bool windowed = true) {
+    if (!grid.contains(dst)) return std::nullopt;
+    // Search window: bounding box of terminals plus a detour margin. This
+    // keeps per-net cost proportional to the net's extent instead of the
+    // whole die; the caller retries unwindowed if the window has no path.
+    int wx0 = dst.x, wx1 = dst.x, wy0 = dst.y, wy1 = dst.y;
+    for (const GCell& s : sources) {
+        wx0 = std::min(wx0, s.x);
+        wx1 = std::max(wx1, s.x);
+        wy0 = std::min(wy0, s.y);
+        wy1 = std::max(wy1, s.y);
+    }
+    const int margin =
+        windowed ? std::max(6, ((wx1 - wx0) + (wy1 - wy0)) / 3) : 1 << 28;
+    wx0 = std::max(0, wx0 - margin);
+    wy0 = std::max(0, wy0 - margin);
+    wx1 = std::min(grid.width() - 1, wx1 + margin);
+    wy1 = std::min(grid.height() - 1, wy1 + margin);
+    const auto in_window = [&](const GCell& c) {
+        return c.x >= wx0 && c.x <= wx1 && c.y >= wy0 && c.y <= wy1;
+    };
+    const int ww = wx1 - wx0 + 1;
+    const auto idx = [&](const GCell& c) {
+        return static_cast<std::size_t>(c.y - wy0) * ww + (c.x - wx0);
+    };
+    const std::size_t n =
+        static_cast<std::size_t>(ww) * static_cast<std::size_t>(wy1 - wy0 + 1);
+    std::vector<double> dist(n, 1e300);
+    std::vector<int> parent(n, -1);
+
+    struct Entry {
+        double f;
+        double g;
+        GCell cell;
+        bool operator>(const Entry& o) const { return f > o.f; }
+    };
+    const auto heuristic = [&](const GCell& c) {
+        if (!opts.use_astar) return 0.0;  // Lee wavefront
+        return static_cast<double>(std::abs(c.x - dst.x) + std::abs(c.y - dst.y));
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+    for (const GCell& src : sources) {
+        if (!grid.contains(src)) continue;
+        dist[idx(src)] = 0;
+        open.push({heuristic(src), 0, src});
+    }
+    if (open.empty()) return std::nullopt;
+
+    while (!open.empty()) {
+        const Entry e = open.top();
+        open.pop();
+        if (e.g > dist[idx(e.cell)]) continue;
+        if (stats) ++stats->cells_expanded;
+        if (e.cell == dst) break;
+        static const int dx[] = {1, -1, 0, 0};
+        static const int dy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+            const GCell next{e.cell.x + dx[d], e.cell.y + dy[d]};
+            if (!grid.contains(next) || !in_window(next)) continue;
+            if (opts.hard_blockages && !grid.edge_free(e.cell, next)) continue;
+            const double g =
+                e.g + grid.edge_cost(e.cell, next, opts.congestion_penalty);
+            if (g < dist[idx(next)]) {
+                dist[idx(next)] = g;
+                parent[idx(next)] = static_cast<int>(idx(e.cell));
+                open.push({g + heuristic(next), g, next});
+            }
+        }
+    }
+    if (dist[idx(dst)] >= 1e300) {
+        // Window too tight (hard blockages can force wide detours): retry
+        // over the whole grid before giving up.
+        if (windowed) return maze_route_impl(grid, sources, dst, opts, stats, false);
+        return std::nullopt;
+    }
+
+    GridRoute route;
+    GCell cur = dst;
+    for (;;) {
+        route.cells.push_back(cur);
+        const int p = parent[idx(cur)];
+        if (p < 0) break;  // reached a source
+        cur = GCell{wx0 + p % ww, wy0 + p / ww};
+    }
+    std::reverse(route.cells.begin(), route.cells.end());
+    return route;
+}
+
+}  // namespace
+
+std::optional<GridRoute> maze_route_from_tree(const GridGraph& grid,
+                                              const std::vector<GCell>& sources,
+                                              GCell dst, const MazeOptions& opts,
+                                              SearchStats* stats) {
+    return maze_route_impl(grid, sources, dst, opts, stats);
+}
+
+std::optional<GridRoute> maze_route(const GridGraph& grid, GCell src, GCell dst,
+                                    const MazeOptions& opts, SearchStats* stats) {
+    return maze_route_impl(grid, {src}, dst, opts, stats);
+}
+
+}  // namespace janus

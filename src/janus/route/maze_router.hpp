@@ -1,0 +1,42 @@
+#pragma once
+/// \file maze_router.hpp
+/// Lee-style maze routing with A* acceleration: finds a minimum-cost path
+/// between two gcells under the grid's congestion-aware edge costs.
+
+#include <optional>
+
+#include "janus/route/grid_graph.hpp"
+
+namespace janus {
+
+struct MazeOptions {
+    double congestion_penalty = 8.0;
+    /// When true, full edges are hard blockages; when false they are only
+    /// penalized (needed by rip-up-and-reroute to make progress).
+    bool hard_blockages = false;
+    /// A* with the Manhattan lower bound (default). false = classic Lee
+    /// wavefront (kept for the line-search comparison experiments).
+    bool use_astar = true;
+};
+
+/// Statistics of one search (for router-comparison experiments).
+struct SearchStats {
+    std::size_t cells_expanded = 0;
+};
+
+/// Routes src -> dst; nullopt when unreachable (only possible with hard
+/// blockages).
+std::optional<GridRoute> maze_route(const GridGraph& grid, GCell src, GCell dst,
+                                    const MazeOptions& opts = {},
+                                    SearchStats* stats = nullptr);
+
+/// Multi-source variant: finds the cheapest path from any cell of
+/// `sources` to `dst` (used to grow a net's routing tree Steiner-style).
+/// The returned route starts at the reached source and ends at `dst`.
+std::optional<GridRoute> maze_route_from_tree(const GridGraph& grid,
+                                              const std::vector<GCell>& sources,
+                                              GCell dst,
+                                              const MazeOptions& opts = {},
+                                              SearchStats* stats = nullptr);
+
+}  // namespace janus

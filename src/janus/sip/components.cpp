@@ -1,0 +1,137 @@
+#include "janus/sip/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace janus {
+
+const std::vector<Component>& component_catalog() {
+    static const std::vector<Component> catalog = [] {
+        std::vector<Component> c;
+        const auto add = [&](Component comp) { c.push_back(std::move(comp)); };
+        // Sensors.
+        add({.name = "temp_basic", .kind = ComponentKind::Sensor, .cost_usd = 0.3,
+             .active_mw = 0.5, .sleep_uw = 0.1, .volume_mm3 = 4,
+             .technology = "CMOS 180nm", .sample_energy_uj = 2});
+        add({.name = "imu_6axis", .kind = ComponentKind::Sensor, .cost_usd = 1.8,
+             .active_mw = 4.0, .sleep_uw = 3.0, .volume_mm3 = 9,
+             .technology = "MEMS", .sample_energy_uj = 40});
+        add({.name = "env_combo", .kind = ComponentKind::Sensor, .cost_usd = 2.9,
+             .active_mw = 1.2, .sleep_uw = 0.5, .volume_mm3 = 12,
+             .technology = "MEMS+CMOS SiP", .sample_energy_uj = 12});
+        // Radios.
+        add({.name = "ble_soc", .kind = ComponentKind::Radio, .cost_usd = 1.2,
+             .active_mw = 18, .sleep_uw = 1.5, .volume_mm3 = 20,
+             .technology = "CMOS 40nm", .data_rate_kbps = 1000, .radio_range_m = 50});
+        add({.name = "lora_mod", .kind = ComponentKind::Radio, .cost_usd = 3.5,
+             .active_mw = 120, .sleep_uw = 1.0, .volume_mm3 = 60,
+             .technology = "CMOS 90nm + SAW", .data_rate_kbps = 5,
+             .radio_range_m = 5000});
+        add({.name = "wifi_mod", .kind = ComponentKind::Radio, .cost_usd = 2.2,
+             .active_mw = 450, .sleep_uw = 15, .volume_mm3 = 40,
+             .technology = "CMOS 28nm", .data_rate_kbps = 20000, .radio_range_m = 80});
+        add({.name = "nbiot_mod", .kind = ComponentKind::Radio, .cost_usd = 5.5,
+             .active_mw = 220, .sleep_uw = 3, .volume_mm3 = 70,
+             .technology = "CMOS 28nm RF", .data_rate_kbps = 60,
+             .radio_range_m = 10000});
+        // MCUs.
+        add({.name = "m0_tiny", .kind = ComponentKind::Mcu, .cost_usd = 0.5,
+             .active_mw = 3, .sleep_uw = 0.5, .volume_mm3 = 9,
+             .technology = "CMOS 90nm", .compute_mips = 20});
+        add({.name = "m4_mid", .kind = ComponentKind::Mcu, .cost_usd = 1.6,
+             .active_mw = 12, .sleep_uw = 1.2, .volume_mm3 = 16,
+             .technology = "CMOS 40nm", .compute_mips = 120});
+        add({.name = "m7_fast", .kind = ComponentKind::Mcu, .cost_usd = 4.8,
+             .active_mw = 60, .sleep_uw = 8, .volume_mm3 = 25,
+             .technology = "CMOS 28nm", .compute_mips = 600});
+        // Storage.
+        add({.name = "eeprom_small", .kind = ComponentKind::Storage, .cost_usd = 0.2,
+             .active_mw = 2, .sleep_uw = 0.1, .volume_mm3 = 4,
+             .technology = "CMOS 180nm"});
+        add({.name = "nor_flash", .kind = ComponentKind::Storage, .cost_usd = 0.8,
+             .active_mw = 15, .sleep_uw = 0.5, .volume_mm3 = 10,
+             .technology = "CMOS 65nm"});
+        // Power sources.
+        add({.name = "coin_cr2032", .kind = ComponentKind::PowerSource,
+             .cost_usd = 0.4, .volume_mm3 = 1000, .technology = "LiMnO2",
+             .capacity_mah = 225});
+        add({.name = "aa_lithium", .kind = ComponentKind::PowerSource,
+             .cost_usd = 1.5, .volume_mm3 = 8000, .technology = "LiFeS2",
+             .capacity_mah = 3000});
+        add({.name = "lipo_small", .kind = ComponentKind::PowerSource,
+             .cost_usd = 2.5, .volume_mm3 = 2400, .technology = "LiPo",
+             .capacity_mah = 500});
+        // Harvesters.
+        add({.name = "solar_small", .kind = ComponentKind::Harvester,
+             .cost_usd = 1.2, .volume_mm3 = 300, .technology = "a-Si PV",
+             .harvest_uw = 80});
+        add({.name = "thermo_teg", .kind = ComponentKind::Harvester,
+             .cost_usd = 3.8, .volume_mm3 = 500, .technology = "BiTe TEG",
+             .harvest_uw = 30});
+        return c;
+    }();
+    return catalog;
+}
+
+SystemMetrics evaluate_system(const SmartSystem& sys, const MissionProfile& mission) {
+    SystemMetrics m;
+    const auto& cat = component_catalog();
+    const auto part = [&](int idx) -> const Component* {
+        return (idx >= 0 && idx < static_cast<int>(cat.size())) ? &cat[static_cast<std::size_t>(idx)] : nullptr;
+    };
+    const Component* sensor = part(sys.sensor);
+    const Component* radio = part(sys.radio);
+    const Component* mcu = part(sys.mcu);
+    const Component* storage = part(sys.storage);
+    const Component* power = part(sys.power);
+    const Component* harvester = part(sys.harvester);
+    if (!sensor || !radio || !mcu || !power) {
+        m.failure_reason = "incomplete system";
+        return m;
+    }
+
+    for (const Component* c : {sensor, radio, mcu, storage, power, harvester}) {
+        if (!c) continue;
+        m.cost_usd += c->cost_usd;
+        m.volume_mm3 += c->volume_mm3;
+    }
+    // SiP assembly overhead is modeled in package_model.hpp; here the raw BOM.
+
+    // Average power (uW): sleep floors + sensing + compute + reporting.
+    double avg_uw = sensor->sleep_uw + radio->sleep_uw + mcu->sleep_uw +
+                    (storage ? storage->sleep_uw : 0.0);
+    // Sensing energy per interval.
+    avg_uw += sensor->sample_energy_uj / mission.sample_interval_s;
+    // MCU processes each sample: assume 1 ms active per sample.
+    avg_uw += mcu->active_mw * 1e3 * (1e-3 / mission.sample_interval_s);
+    // Reporting: bytes accumulated per report / data rate = airtime.
+    const double samples_per_report =
+        mission.report_interval_s / mission.sample_interval_s;
+    const double report_bits = samples_per_report * mission.sample_bytes * 8.0;
+    const double airtime_s =
+        report_bits / std::max(1.0, radio->data_rate_kbps * 1e3);
+    avg_uw += radio->active_mw * 1e3 * (airtime_s / mission.report_interval_s);
+    // Harvesting offsets demand (cannot go negative).
+    if (harvester) avg_uw = std::max(0.0, avg_uw - harvester->harvest_uw);
+    m.avg_power_uw = avg_uw;
+
+    // Battery life at nominal 3 V.
+    const double battery_uwh = power->capacity_mah * 3.0 * 1e3;
+    m.lifetime_days =
+        avg_uw > 0 ? battery_uwh / avg_uw / 24.0 : mission.required_lifetime_days * 10;
+
+    if (radio->radio_range_m < mission.required_range_m) {
+        m.failure_reason = "radio range insufficient";
+    } else if (m.lifetime_days < mission.required_lifetime_days) {
+        m.failure_reason = "battery life insufficient";
+    } else if (m.volume_mm3 > mission.max_volume_mm3) {
+        m.failure_reason = "volume exceeded";
+    } else if (m.cost_usd > mission.max_cost_usd) {
+        m.failure_reason = "cost exceeded";
+    } else {
+        m.meets_requirements = true;
+    }
+    return m;
+}
+
+}  // namespace janus

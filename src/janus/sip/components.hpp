@@ -1,0 +1,73 @@
+#pragma once
+/// \file components.hpp
+/// Smart-system component models: the heterogeneous parts Macii lists as
+/// the substance of IoT "smart systems" — sensors, radios, compute,
+/// storage, power sources — each with cost/power/volume attributes from
+/// different technologies. The basis of the co-design experiments (E11).
+
+#include <string>
+#include <vector>
+
+namespace janus {
+
+enum class ComponentKind { Sensor, Radio, Mcu, Storage, PowerSource, Harvester };
+
+/// One selectable catalog part.
+struct Component {
+    std::string name;
+    ComponentKind kind = ComponentKind::Sensor;
+    double cost_usd = 0;
+    double active_mw = 0;      ///< power while active
+    double sleep_uw = 0;       ///< power while sleeping
+    double volume_mm3 = 0;
+    std::string technology;    ///< e.g. "CMOS 180nm", "MEMS", "GaAs"
+
+    // Kind-specific figures (unused fields stay 0).
+    double data_rate_kbps = 0;     ///< radio
+    double radio_range_m = 0;      ///< radio
+    double sample_energy_uj = 0;   ///< sensor: energy per sample
+    double compute_mips = 0;       ///< MCU
+    double capacity_mah = 0;       ///< power source (battery)
+    double harvest_uw = 0;         ///< harvester average yield
+};
+
+/// The built-in catalog (several options per kind, heterogeneous techs).
+const std::vector<Component>& component_catalog();
+
+/// One assembled smart-system design: indices into the catalog, exactly
+/// one sensor/radio/MCU/power source (harvester optional, -1 = none).
+struct SmartSystem {
+    int sensor = -1;
+    int radio = -1;
+    int mcu = -1;
+    int storage = -1;
+    int power = -1;
+    int harvester = -1;
+};
+
+/// Application requirements (the "mission profile").
+struct MissionProfile {
+    double sample_interval_s = 60.0;  ///< one measurement per interval
+    double sample_bytes = 32.0;
+    double report_interval_s = 3600.0;  ///< radio transmission period
+    double required_lifetime_days = 365.0;
+    double required_range_m = 100.0;
+    double max_volume_mm3 = 2000.0;
+    double max_cost_usd = 20.0;
+};
+
+/// Evaluated metrics of one design against a mission.
+struct SystemMetrics {
+    double cost_usd = 0;
+    double volume_mm3 = 0;
+    double avg_power_uw = 0;
+    double lifetime_days = 0;
+    bool meets_requirements = false;
+    std::string failure_reason;  ///< empty when requirements met
+};
+
+/// Evaluates a design; battery life accounts for duty-cycled sensing,
+/// computing, reporting, sleep floors and harvesting offset.
+SystemMetrics evaluate_system(const SmartSystem& sys, const MissionProfile& mission);
+
+}  // namespace janus

@@ -1,0 +1,130 @@
+#include "janus/sip/dse.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace janus {
+namespace {
+
+std::vector<int> indices_of(ComponentKind kind) {
+    std::vector<int> out;
+    const auto& cat = component_catalog();
+    for (std::size_t i = 0; i < cat.size(); ++i) {
+        if (cat[i].kind == kind) out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+}  // namespace
+
+bool dominates(const DsePoint& a, const DsePoint& b) {
+    const bool le = a.objective_cost() <= b.objective_cost() &&
+                    a.objective_volume() <= b.objective_volume() &&
+                    a.objective_lifetime() <= b.objective_lifetime();
+    const bool lt = a.objective_cost() < b.objective_cost() ||
+                    a.objective_volume() < b.objective_volume() ||
+                    a.objective_lifetime() < b.objective_lifetime();
+    return le && lt;
+}
+
+DseResult holistic_dse(const MissionProfile& mission,
+                       const IntegrationOptions& iopts) {
+    DseResult res;
+    const auto sensors = indices_of(ComponentKind::Sensor);
+    const auto radios = indices_of(ComponentKind::Radio);
+    const auto mcus = indices_of(ComponentKind::Mcu);
+    const auto storages = indices_of(ComponentKind::Storage);
+    const auto powers = indices_of(ComponentKind::PowerSource);
+    auto harvesters = indices_of(ComponentKind::Harvester);
+    harvesters.push_back(-1);  // "no harvester" option
+    auto storages_opt = storages;
+    storages_opt.push_back(-1);
+
+    static const IntegrationStyle styles[] = {
+        IntegrationStyle::DiscretePcb, IntegrationStyle::SiP,
+        IntegrationStyle::MonolithicSoC};
+
+    for (const int se : sensors) {
+        for (const int ra : radios) {
+            for (const int mc : mcus) {
+                for (const int st : storages_opt) {
+                    for (const int pw : powers) {
+                        for (const int hv : harvesters) {
+                            SmartSystem sys{se, ra, mc, st, pw, hv};
+                            const SystemMetrics m = evaluate_system(sys, mission);
+                            for (const IntegrationStyle style : styles) {
+                                ++res.evaluated;
+                                if (!m.meets_requirements) continue;
+                                const IntegrationResult ir =
+                                    integrate(sys, style, iopts);
+                                if (!ir.feasible) continue;
+                                // Integration can break volume/cost limits.
+                                if (ir.volume_mm3 > mission.max_volume_mm3 ||
+                                    ir.total_cost_usd > mission.max_cost_usd) {
+                                    continue;
+                                }
+                                DsePoint pt;
+                                pt.system = sys;
+                                pt.style = style;
+                                pt.metrics = m;
+                                pt.integration = ir;
+                                res.feasible.push_back(std::move(pt));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pareto extraction.
+    for (const DsePoint& p : res.feasible) {
+        bool dominated = false;
+        for (const DsePoint& q : res.feasible) {
+            if (dominates(q, p)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) res.pareto.push_back(p);
+    }
+    return res;
+}
+
+DsePoint adhoc_design(const MissionProfile& mission,
+                      const IntegrationOptions& iopts) {
+    // Each "domain team" optimizes locally without seeing the others:
+    // sensing picks the cheapest sensor; RF picks the cheapest radio with
+    // enough range; compute picks the cheapest MCU; power picks the
+    // cheapest battery. Nobody owns lifetime or volume.
+    const auto& cat = component_catalog();
+    const auto cheapest = [&](ComponentKind kind, auto&& ok) {
+        int best = -1;
+        for (std::size_t i = 0; i < cat.size(); ++i) {
+            if (cat[i].kind != kind || !ok(cat[i])) continue;
+            if (best < 0 || cat[i].cost_usd < cat[static_cast<std::size_t>(best)].cost_usd) {
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    };
+    SmartSystem sys;
+    sys.sensor = cheapest(ComponentKind::Sensor, [](const Component&) { return true; });
+    sys.radio = cheapest(ComponentKind::Radio, [&](const Component& c) {
+        return c.radio_range_m >= mission.required_range_m;
+    });
+    sys.mcu = cheapest(ComponentKind::Mcu, [](const Component&) { return true; });
+    sys.storage = -1;
+    sys.power = cheapest(ComponentKind::PowerSource, [](const Component&) { return true; });
+    sys.harvester = -1;
+
+    DsePoint pt;
+    pt.system = sys;
+    pt.metrics = evaluate_system(sys, mission);
+    // Integration chosen last, as the panel laments: default to PCB.
+    pt.style = IntegrationStyle::DiscretePcb;
+    pt.integration = integrate(sys, pt.style, iopts);
+    return pt;
+}
+
+}  // namespace janus

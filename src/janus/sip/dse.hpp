@@ -1,0 +1,49 @@
+#pragma once
+/// \file dse.hpp
+/// Design-space exploration for smart systems: exhaustive/holistic
+/// co-design sweep vs the "separate per-domain ad-hoc" methodology the
+/// panel says smart-system design must move away from (E11).
+
+#include <vector>
+
+#include "janus/sip/components.hpp"
+#include "janus/sip/package_model.hpp"
+
+namespace janus {
+
+/// One explored point.
+struct DsePoint {
+    SmartSystem system;
+    IntegrationStyle style = IntegrationStyle::DiscretePcb;
+    SystemMetrics metrics;
+    IntegrationResult integration;
+    /// Composite objectives used for Pareto ranking (lower is better).
+    double objective_cost() const { return integration.total_cost_usd; }
+    double objective_volume() const { return integration.volume_mm3; }
+    /// Negated so "lower is better" across all objectives.
+    double objective_lifetime() const { return -metrics.lifetime_days; }
+};
+
+struct DseResult {
+    std::vector<DsePoint> feasible;  ///< meets mission + integration feasible
+    std::vector<DsePoint> pareto;    ///< non-dominated subset of `feasible`
+    std::size_t evaluated = 0;
+};
+
+/// Holistic co-design: enumerates every component combination and every
+/// integration style against the mission, returning the Pareto front over
+/// (cost, volume, -lifetime).
+DseResult holistic_dse(const MissionProfile& mission,
+                       const IntegrationOptions& iopts = {});
+
+/// Ad-hoc per-domain methodology: each domain expert picks their
+/// component independently (cheapest part meeting the local spec), then
+/// the integration style is chosen last. Returns the single resulting
+/// point (which may fail the mission).
+DsePoint adhoc_design(const MissionProfile& mission,
+                      const IntegrationOptions& iopts = {});
+
+/// True if a dominates b on (cost, volume, -lifetime).
+bool dominates(const DsePoint& a, const DsePoint& b);
+
+}  // namespace janus

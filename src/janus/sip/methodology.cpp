@@ -1,0 +1,37 @@
+#include "janus/sip/methodology.hpp"
+
+#include <algorithm>
+
+namespace janus {
+
+MethodologyCost expert_methodology(const MethodologyParams& p) {
+    MethodologyCost c;
+    // Serial: each iteration redesigns every domain and hand-offs between
+    // consecutive domains.
+    const double per_iteration =
+        p.num_domains * p.domain_design_weeks +
+        (p.num_domains - 1) * p.handoff_weeks;
+    c.time_to_market_weeks = per_iteration * p.integration_iterations_expert;
+    c.design_weeks = c.time_to_market_weeks;  // serial: elapsed == effort
+    c.design_cost_usd = c.design_weeks * p.engineer_cost_per_week_usd *
+                        p.num_domains;  // specialist team per domain retained
+    return c;
+}
+
+MethodologyCost automated_methodology(const MethodologyParams& p) {
+    MethodologyCost c;
+    // Parallel domains inside one framework; hand-off automated; fewer
+    // iterations because integration constraints are visible up front.
+    const double domain_weeks =
+        p.domain_design_weeks * (1.0 - p.automation_factor);
+    const double per_iteration = domain_weeks;  // domains run concurrently
+    c.time_to_market_weeks =
+        per_iteration * p.integration_iterations_automated;
+    // Effort: all domains still spend their (reduced) weeks.
+    c.design_weeks = domain_weeks * p.num_domains *
+                     p.integration_iterations_automated;
+    c.design_cost_usd = c.design_weeks * p.engineer_cost_per_week_usd;
+    return c;
+}
+
+}  // namespace janus

@@ -1,0 +1,35 @@
+#pragma once
+/// \file methodology.hpp
+/// Design-methodology cost model: "expert" smart-system design (separate
+/// tools, manual hand-off between domains, specialist teams) versus a
+/// "mainstream" automated integrated methodology. Quantifies Macii's
+/// claim that automation cuts design cost and time-to-market (E11).
+
+namespace janus {
+
+struct MethodologyParams {
+    int num_domains = 4;            ///< sensing, RF, compute, power
+    double domain_design_weeks = 8; ///< per-domain design effort
+    double handoff_weeks = 3;       ///< manual transfer between domain tools
+    double integration_iterations_expert = 4;  ///< respins until domains agree
+    double integration_iterations_automated = 1.2;
+    double engineer_cost_per_week_usd = 4000;
+    /// Fraction of per-domain effort an integrated flow automates away.
+    double automation_factor = 0.45;
+};
+
+struct MethodologyCost {
+    double design_weeks = 0;
+    double design_cost_usd = 0;
+    double time_to_market_weeks = 0;
+};
+
+/// Expert methodology: serial domain design + manual hand-offs, repeated
+/// over the integration iterations.
+MethodologyCost expert_methodology(const MethodologyParams& p = {});
+
+/// Automated co-design methodology: parallel domain design inside one
+/// framework, automated hand-off, fewer iterations.
+MethodologyCost automated_methodology(const MethodologyParams& p = {});
+
+}  // namespace janus

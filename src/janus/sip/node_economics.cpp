@@ -1,0 +1,127 @@
+#include "janus/sip/node_economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "janus/util/rng.hpp"
+
+namespace janus {
+namespace {
+
+/// Defect density (defects/cm^2): mature nodes are well seasoned, leading
+/// edge nodes are still on the early ramp (2016 vintage).
+double defect_density(const TechnologyNode& n) {
+    if (n.feature_nm >= 40) return 0.08;
+    if (n.feature_nm >= 28) return 0.12;
+    if (n.feature_nm >= 20) return 0.25;
+    if (n.feature_nm >= 14) return 0.35;
+    if (n.feature_nm >= 10) return 0.45;
+    return 0.60;
+}
+
+/// Achievable clock at a node: ~30 FO4 per cycle.
+double node_fmax_ghz(const TechnologyNode& n) {
+    return 1000.0 / (30.0 * n.gate_delay_ps);
+}
+
+constexpr double kMaxDieMm2 = 600.0;
+constexpr double kWaferAreaMm2 = 70685.0 * 0.9;  // 300 mm, edge loss
+
+}  // namespace
+
+std::vector<NodeCost> evaluate_nodes(const DesignScenario& scenario) {
+    std::vector<NodeCost> out;
+    for (const TechnologyNode& n : standard_nodes()) {
+        NodeCost c;
+        c.node = n.name;
+        c.die_area_mm2 = scenario.transistors_m / n.transistors_per_mm2_m * 1.25;
+        if (c.die_area_mm2 > kMaxDieMm2) {
+            c.feasible = false;
+            c.infeasible_reason = "die too large";
+        }
+        if (node_fmax_ghz(n) < scenario.performance_need_ghz) {
+            c.feasible = false;
+            c.infeasible_reason = "performance";
+        }
+        // Dynamic power at the needed clock (10% activity, all transistors
+        // contributing 1/4 of a gate cap each).
+        const double gates = scenario.transistors_m * 1e6 / 4.0;
+        const double power_mw = 0.1 * gates * (n.gate_cap_ff * 0.25e-15) *
+                                n.vdd * n.vdd * scenario.performance_need_ghz *
+                                1e9 * 1e3;
+        if (power_mw > scenario.power_budget_mw * 10) {
+            c.feasible = false;
+            c.infeasible_reason = "power";
+        }
+        c.yield = std::exp(-defect_density(n) * c.die_area_mm2 / 100.0);
+        const double dies_per_wafer = kWaferAreaMm2 / std::max(1.0, c.die_area_mm2);
+        c.unit_cost_usd = n.wafer_cost_usd / (dies_per_wafer * std::max(1e-6, c.yield));
+        c.nre_per_unit_usd = (n.nre_musd + n.mask_set_cost_musd) * 1e6 /
+                             std::max(1.0, scenario.production_volume);
+        c.total_per_unit_usd = c.unit_cost_usd + c.nre_per_unit_usd;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+NodeCost best_node(const DesignScenario& scenario) {
+    const auto all = evaluate_nodes(scenario);
+    const NodeCost* best = nullptr;
+    for (const NodeCost& c : all) {
+        if (!c.feasible) continue;
+        if (!best || c.total_per_unit_usd < best->total_per_unit_usd) best = &c;
+    }
+    if (!best) {
+        NodeCost none;
+        none.feasible = false;
+        none.infeasible_reason = "no feasible node";
+        return none;
+    }
+    return *best;
+}
+
+std::vector<DesignStartShare> design_start_distribution(std::size_t num_designs,
+                                                        std::uint64_t seed) {
+    Rng rng(seed);
+    std::map<std::string, std::size_t> tally;
+    std::size_t decided = 0;
+    for (std::size_t i = 0; i < num_designs; ++i) {
+        DesignScenario s;
+        // Industry mix, 2016 vintage: most starts are small A&M/S or MCU
+        // class designs with modest volume; a thin tail of huge designs.
+        const double u = rng.next_double();
+        if (u < 0.55) {
+            // Small designs: sub-5M transistors, low performance.
+            s.transistors_m = 0.3 + 5.0 * rng.next_double();
+            s.production_volume = std::pow(10.0, 4.0 + 2.5 * rng.next_double());
+            s.performance_need_ghz = 0.05 + 0.2 * rng.next_double();
+        } else if (u < 0.93) {
+            // Mid designs.
+            s.transistors_m = 5.0 + 120.0 * rng.next_double();
+            s.production_volume = std::pow(10.0, 5.0 + 2.0 * rng.next_double());
+            s.performance_need_ghz = 0.2 + 0.6 * rng.next_double();
+        } else {
+            // Large mobile/CPU/networking class.
+            s.transistors_m = 300.0 + 3000.0 * rng.next_double();
+            s.production_volume = std::pow(10.0, 6.0 + 2.0 * rng.next_double());
+            s.performance_need_ghz = 1.0 + 1.5 * rng.next_double();
+        }
+        const NodeCost c = best_node(s);
+        if (!c.feasible) continue;
+        ++tally[c.node];
+        ++decided;
+    }
+    std::vector<DesignStartShare> out;
+    for (const TechnologyNode& n : standard_nodes()) {
+        DesignStartShare sh;
+        sh.node = n.name;
+        sh.share = decided ? static_cast<double>(tally[n.name]) /
+                                 static_cast<double>(decided)
+                           : 0.0;
+        out.push_back(std::move(sh));
+    }
+    return out;
+}
+
+}  // namespace janus

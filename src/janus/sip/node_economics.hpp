@@ -1,0 +1,51 @@
+#pragma once
+/// \file node_economics.hpp
+/// Technology-node economics: per-design cost (NRE + masks + wafers with
+/// node/area-dependent yield) as a function of production volume, and the
+/// resulting allocation of design starts across nodes. Reproduces the
+/// panel's numbers: ">90 % of design starts at 32/28 nm and above" and
+/// "180 nm is the most designed node, >25 % of starts" (E13).
+
+#include <string>
+#include <vector>
+
+#include "janus/netlist/technology.hpp"
+
+namespace janus {
+
+/// One product scenario.
+struct DesignScenario {
+    double transistors_m = 5.0;       ///< logic size, millions of transistors
+    double production_volume = 1e6;   ///< units over the product's life
+    double performance_need_ghz = 0.2;///< minimum clock the product needs
+    double power_budget_mw = 500.0;
+};
+
+struct NodeCost {
+    std::string node;
+    bool feasible = true;             ///< node can meet perf within the die-size cap
+    std::string infeasible_reason;
+    double die_area_mm2 = 0;
+    double yield = 0;
+    double unit_cost_usd = 0;         ///< manufactured cost per good unit
+    double nre_per_unit_usd = 0;      ///< amortized NRE + masks
+    double total_per_unit_usd = 0;
+};
+
+/// Evaluates every standard node for a scenario.
+std::vector<NodeCost> evaluate_nodes(const DesignScenario& scenario);
+
+/// The cheapest feasible node for a scenario.
+NodeCost best_node(const DesignScenario& scenario);
+
+/// A population of design starts: samples scenarios from the 2016-ish
+/// industry mix (many small/cheap designs, few huge ones) and returns the
+/// fraction of starts choosing each node.
+struct DesignStartShare {
+    std::string node;
+    double share = 0;  ///< fraction of all starts
+};
+std::vector<DesignStartShare> design_start_distribution(std::size_t num_designs,
+                                                        std::uint64_t seed);
+
+}  // namespace janus

@@ -1,0 +1,59 @@
+#include "janus/timing/corners.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace janus {
+
+std::vector<TimingCorner> standard_corners() {
+    return {
+        {"ss_lowv_hot", 1.30},  // slow process, low voltage, 125C
+        {"tt_nom", 1.00},
+        {"ff_highv_cold", 0.72},  // fast process, high voltage, -40C
+    };
+}
+
+MultiCornerReport run_multi_corner(const Netlist& nl, const StaOptions& base,
+                                   const std::vector<TimingCorner>& corners) {
+    MultiCornerReport out;
+    // A uniform derate k scales every path delay by k; one nominal STA run
+    // provides all arrivals, and each corner rescales them.
+    const TimingReport nominal = run_sta(nl, base);
+
+    const bool has_flops = !nl.sequential_instances().empty();
+    out.worst_setup_slack_ps = std::numeric_limits<double>::infinity();
+    out.worst_hold_slack_ps = std::numeric_limits<double>::infinity();
+    for (const TimingCorner& c : corners) {
+        TimingReport r = nominal;
+        const double k = c.delay_derate;
+        for (double& a : r.arrival) a *= k;
+        // Required times (period - setup) are corner-invariant constraints
+        // and stay as computed nominally.
+        r.critical_delay_ps = nominal.critical_delay_ps * k;
+        r.fmax_ghz = r.critical_delay_ps > 0 ? 1000.0 / r.critical_delay_ps : 0;
+        // Setup: slack = (period - setup) - k * arrival at the worst
+        // endpoint; nominal wns = (period - setup) - arrival.
+        const double constraint =
+            nominal.critical_delay_ps + nominal.wns_ps;  // period-ish bound
+        r.wns_ps = constraint - r.critical_delay_ps;
+        r.tns_ps = std::min(0.0, r.wns_ps);  // summary proxy at the corner
+        // Hold: the min-path arrival scales with the derate; the hold
+        // window does not. slack = k * min_arrival - hold. Vacuous (0)
+        // for combinational designs with no capture flops.
+        r.hold_wns_ps =
+            has_flops ? (nominal.hold_wns_ps + base.hold_ps) * k - base.hold_ps
+                      : 0.0;
+        if (r.wns_ps < out.worst_setup_slack_ps) {
+            out.worst_setup_slack_ps = r.wns_ps;
+            out.worst_setup_corner = c.name;
+        }
+        if (r.hold_wns_ps < out.worst_hold_slack_ps) {
+            out.worst_hold_slack_ps = r.hold_wns_ps;
+            out.worst_hold_corner = c.name;
+        }
+        out.reports.push_back(std::move(r));
+    }
+    return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,65 @@
+#include "janus/timing/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace janus {
+
+WireModel WireModel::for_node(const TechnologyNode& node) {
+    WireModel wm;
+    // Wire capacitance per unit length is roughly node-independent
+    // (~0.2 fF/um); resistance grows as the cross-section shrinks.
+    wm.cap_ff_per_um = 0.2;
+    wm.res_ohm_per_um = 0.4 * (180.0 / std::max(1.0, node.feature_nm));
+    // Average wirelength tracks the row pitch: finer nodes, shorter wires.
+    wm.um_per_fanout = 25.0 * node.track_um;
+    return wm;
+}
+
+double estimate_net_length_um(const Netlist& nl, NetId net, const WireModel& wm) {
+    // Gather pin positions; fall back to wireload when any pin is unplaced.
+    const Net& n = nl.net(net);
+    std::vector<Point> pins;
+    bool all_placed = true;
+    if (n.driver_kind == DriverKind::Instance) {
+        const Instance& d = nl.instance(n.driver_inst);
+        if (d.placed) {
+            pins.push_back(d.position);
+        } else {
+            all_placed = false;
+        }
+    }
+    for (const SinkRef& s : nl.sinks(net)) {
+        const Instance& i = nl.instance(s.inst);
+        if (i.placed) {
+            pins.push_back(i.position);
+        } else {
+            all_placed = false;
+        }
+    }
+    if (all_placed && pins.size() >= 2) {
+        // Positions are in DBU = nm here; convert to um.
+        return static_cast<double>(hpwl(pins)) * 1e-3;
+    }
+    return wm.um_per_fanout * static_cast<double>(std::max<std::size_t>(1, nl.fanout_count(net)));
+}
+
+double net_load_ff(const Netlist& nl, NetId net, const WireModel& wm) {
+    double cap = estimate_net_length_um(nl, net, wm) * wm.cap_ff_per_um;
+    for (const SinkRef& s : nl.sinks(net)) {
+        cap += nl.type_of(s.inst).input_cap_ff;
+    }
+    return cap;
+}
+
+double instance_delay_ps(const Netlist& nl, InstId inst, const WireModel& wm) {
+    const CellType& ct = nl.type_of(inst);
+    const NetId out = nl.instance(inst).output;
+    const double load = net_load_ff(nl, out, wm);
+    const double len = estimate_net_length_um(nl, out, wm);
+    const double wire_delay =
+        0.5 * (len * wm.res_ohm_per_um) * (len * wm.cap_ff_per_um) * 1e-3;
+    return ct.intrinsic_delay_ps + ct.drive_res_kohm * load + wire_delay;
+}
+
+}  // namespace janus

@@ -1,0 +1,36 @@
+#pragma once
+/// \file delay_model.hpp
+/// First-order gate and interconnect delay models. Gate delay is the
+/// linear model  d = intrinsic + R_drive * C_load;  interconnect uses a
+/// lumped Elmore estimate from HPWL when placement data exists and a
+/// fanout-based wireload model otherwise (the classic pre-layout
+/// estimate).
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/netlist/technology.hpp"
+
+namespace janus {
+
+/// Per-technology wire parasitics.
+struct WireModel {
+    double cap_ff_per_um = 0.2;   ///< wire capacitance
+    double res_ohm_per_um = 1.0;  ///< wire resistance
+    /// Pre-layout wireload: estimated length per fanout (um).
+    double um_per_fanout = 5.0;
+
+    /// Derives a wire model from the node (narrower wires: more R, ~same C).
+    static WireModel for_node(const TechnologyNode& node);
+};
+
+/// Estimated routed length of a net in um: HPWL when all pins are placed,
+/// wireload estimate otherwise.
+double estimate_net_length_um(const Netlist& nl, NetId net, const WireModel& wm);
+
+/// Total capacitive load on a net (sink pins + wire).
+double net_load_ff(const Netlist& nl, NetId net, const WireModel& wm);
+
+/// Delay of instance `inst` driving its output net, in ps: gate plus a
+/// lumped wire term 0.5 * R_wire * C_wire.
+double instance_delay_ps(const Netlist& nl, InstId inst, const WireModel& wm);
+
+}  // namespace janus

@@ -1,0 +1,58 @@
+#include "janus/timing/sizing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace janus {
+
+SizingResult size_for_timing(Netlist& nl, const SizingOptions& opts) {
+    SizingResult res;
+    const CellLibrary& lib = nl.library();
+
+    TimingReport tr = run_sta(nl, opts.sta);
+    res.wns_before_ps = tr.wns_ps;
+    res.delay_before_ps = tr.critical_delay_ps;
+    res.area_before_um2 = nl.total_area();
+
+    for (int pass = 0; pass < opts.max_passes; ++pass) {
+        if (opts.stop_when_met && tr.met()) break;
+        ++res.passes;
+
+        // Candidate resizes: critical-path instances with a bigger drive.
+        std::vector<std::pair<InstId, std::size_t>> undo;
+        int resized = 0;
+        for (const InstId i : tr.critical_path) {
+            const CellType& cur = nl.type_of(i);
+            const auto variants = lib.variants(cur.function);
+            std::size_t next = nl.instance(i).type;
+            for (const std::size_t v : variants) {
+                if (lib.cell(v).drive > cur.drive) {
+                    next = v;
+                    break;
+                }
+            }
+            if (next == nl.instance(i).type) continue;
+            undo.emplace_back(i, nl.instance(i).type);
+            nl.instance(i).type = next;
+            ++resized;
+        }
+        if (resized == 0) break;
+
+        const TimingReport after = run_sta(nl, opts.sta);
+        if (after.critical_delay_ps < tr.critical_delay_ps) {
+            tr = after;
+            res.cells_resized += resized;
+        } else {
+            // No improvement: roll back and stop.
+            for (const auto& [inst, type] : undo) nl.instance(inst).type = type;
+            break;
+        }
+    }
+
+    res.wns_after_ps = tr.wns_ps;
+    res.delay_after_ps = tr.critical_delay_ps;
+    res.area_after_um2 = nl.total_area();
+    return res;
+}
+
+}  // namespace janus

@@ -1,0 +1,36 @@
+#pragma once
+/// \file sizing.hpp
+/// Timing-driven gate sizing: upsizes cells on critical paths to their
+/// X2/X4 drive variants while the worst slack improves — the "do more
+/// with less" optimization loop that complements synthesis.
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/timing/sta.hpp"
+
+namespace janus {
+
+struct SizingOptions {
+    StaOptions sta;
+    int max_passes = 8;
+    /// Stop once WNS is non-negative (timing met).
+    bool stop_when_met = true;
+};
+
+struct SizingResult {
+    double wns_before_ps = 0;
+    double wns_after_ps = 0;
+    double delay_before_ps = 0;
+    double delay_after_ps = 0;
+    double area_before_um2 = 0;
+    double area_after_um2 = 0;
+    int cells_resized = 0;
+    int passes = 0;
+};
+
+/// Iteratively upsizes the most critical instances (in place). Each pass
+/// re-runs STA and resizes instances on the critical path whose library
+/// has a higher-drive variant of the same function. Greedy and safe:
+/// a pass that fails to improve WNS is rolled back and iteration stops.
+SizingResult size_for_timing(Netlist& nl, const SizingOptions& opts = {});
+
+}  // namespace janus

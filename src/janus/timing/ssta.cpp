@@ -1,0 +1,94 @@
+#include "janus/timing/ssta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "janus/timing/delay_model.hpp"
+
+namespace janus {
+namespace {
+
+double phi(double x) {  // standard normal pdf
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double Phi(double x) {  // standard normal cdf
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+GaussianDelay clark_max(const GaussianDelay& x, const GaussianDelay& y) {
+    const double a2 = x.sigma * x.sigma + y.sigma * y.sigma;
+    if (a2 < 1e-18) {
+        return {std::max(x.mean, y.mean), 0.0};
+    }
+    const double a = std::sqrt(a2);
+    const double alpha = (x.mean - y.mean) / a;
+    const double mean = x.mean * Phi(alpha) + y.mean * Phi(-alpha) + a * phi(alpha);
+    const double second =
+        (x.mean * x.mean + x.sigma * x.sigma) * Phi(alpha) +
+        (y.mean * y.mean + y.sigma * y.sigma) * Phi(-alpha) +
+        (x.mean + y.mean) * a * phi(alpha);
+    const double var = std::max(0.0, second - mean * mean);
+    return {mean, std::sqrt(var)};
+}
+
+SstaReport run_ssta(const Netlist& nl, const SstaOptions& opts) {
+    SstaReport rep;
+    const TimingReport nominal = run_sta(nl, opts.sta);
+    rep.nominal_delay_ps = nominal.critical_delay_ps;
+
+    // Per-net statistical arrivals.
+    std::vector<GaussianDelay> arrival(nl.num_nets(), GaussianDelay{});
+    for (const InstId f : nl.sequential_instances()) {
+        arrival[nl.instance(f).output] = {opts.sta.clk_to_q_ps, 0.0};
+    }
+
+    for (const InstId i : nl.topological_order()) {
+        const Instance& inst = nl.instance(i);
+        const double d = instance_delay_ps(nl, i, opts.sta.wire);
+        GaussianDelay in{0, 0};
+        const int arity = function_arity(nl.type_of(i).function);
+        bool first = true;
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = inst.fanin[static_cast<std::size_t>(p)];
+            if (n == kNoNet) continue;
+            in = first ? arrival[n] : clark_max(in, arrival[n]);
+            first = false;
+        }
+        // Independent per-gate variation adds in quadrature.
+        const double gate_sigma = d * opts.sigma_fraction;
+        arrival[inst.output] = {in.mean + d,
+                                std::sqrt(in.sigma * in.sigma +
+                                          gate_sigma * gate_sigma)};
+    }
+
+    // Statistical max across endpoints.
+    GaussianDelay critical{0, 0};
+    bool first = true;
+    const auto endpoint = [&](NetId net) {
+        critical = first ? arrival[net] : clark_max(critical, arrival[net]);
+        first = false;
+    };
+    for (const auto& [name, net] : nl.primary_outputs()) {
+        (void)name;
+        endpoint(net);
+    }
+    for (const InstId f : nl.sequential_instances()) {
+        const NetId d = nl.instance(f).fanin[0];
+        if (d != kNoNet) endpoint(d);
+    }
+    rep.critical = critical;
+    const double slack_target = opts.sta.clock_period_ps - opts.sta.setup_ps;
+    rep.timing_yield =
+        critical.sigma > 0
+            ? Phi((slack_target - critical.mean) / critical.sigma)
+            : (critical.mean <= slack_target ? 1.0 : 0.0);
+    rep.period_for_3sigma_ps =
+        critical.mean + 3.0 * critical.sigma + opts.sta.setup_ps;
+    return rep;
+}
+
+}  // namespace janus

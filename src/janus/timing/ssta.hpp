@@ -1,0 +1,44 @@
+#pragma once
+/// \file ssta.hpp
+/// Statistical static timing analysis. Panelist Macii: "the focus of the
+/// tools has shifted ... to more complex targets, such as
+/// manufacturability, temperature, ageing and process variation." Each
+/// gate delay is a Gaussian (nominal, sigma); arrivals propagate with
+/// Clark's max approximation; the result is a timing-yield estimate
+/// instead of a single worst case.
+
+#include "janus/netlist/netlist.hpp"
+#include "janus/timing/sta.hpp"
+
+namespace janus {
+
+/// A Gaussian random variable (first two moments).
+struct GaussianDelay {
+    double mean = 0;
+    double sigma = 0;
+};
+
+struct SstaOptions {
+    StaOptions sta;
+    /// Per-gate sigma as a fraction of the nominal delay (die-to-die plus
+    /// random components lumped).
+    double sigma_fraction = 0.08;
+};
+
+struct SstaReport {
+    GaussianDelay critical;        ///< statistical max over endpoints
+    double nominal_delay_ps = 0;   ///< deterministic STA for reference
+    /// P(design meets the clock period).
+    double timing_yield = 0;
+    /// Clock period needed for 99.87% yield (mean + 3 sigma).
+    double period_for_3sigma_ps = 0;
+};
+
+/// Runs SSTA; independent gate delays, Clark max at converging paths.
+SstaReport run_ssta(const Netlist& nl, const SstaOptions& opts = {});
+
+/// Clark's approximation of max(X, Y) for independent Gaussians —
+/// exposed for tests.
+GaussianDelay clark_max(const GaussianDelay& x, const GaussianDelay& y);
+
+}  // namespace janus

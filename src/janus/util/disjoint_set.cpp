@@ -1,0 +1,45 @@
+#include "janus/util/disjoint_set.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace janus {
+
+DisjointSet::DisjointSet(std::size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t DisjointSet::add() {
+    const std::size_t id = parent_.size();
+    parent_.push_back(id);
+    size_.push_back(1);
+    ++num_sets_;
+    return id;
+}
+
+std::size_t DisjointSet::find(std::size_t x) {
+    assert(x < parent_.size());
+    std::size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+        const std::size_t next = parent_[x];
+        parent_[x] = root;
+        x = next;
+    }
+    return root;
+}
+
+bool DisjointSet::unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+}
+
+std::size_t DisjointSet::set_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace janus

@@ -1,0 +1,41 @@
+#pragma once
+/// \file disjoint_set.hpp
+/// Union-find with path compression and union by size. Used by the
+/// multi-patterning decomposer (conflict components) and the router
+/// (connectivity checks).
+
+#include <cstddef>
+#include <vector>
+
+namespace janus {
+
+class DisjointSet {
+  public:
+    /// Creates `n` singleton sets with ids 0..n-1.
+    explicit DisjointSet(std::size_t n = 0);
+
+    /// Adds one more singleton set and returns its id.
+    std::size_t add();
+
+    /// Representative of the set containing `x` (with path compression).
+    std::size_t find(std::size_t x);
+
+    /// Merges the sets containing a and b; returns true if they were
+    /// previously distinct.
+    bool unite(std::size_t a, std::size_t b);
+
+    bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+    std::size_t size() const { return parent_.size(); }
+    /// Number of distinct sets.
+    std::size_t num_sets() const { return num_sets_; }
+    /// Number of elements in the set containing `x`.
+    std::size_t set_size(std::size_t x);
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+    std::size_t num_sets_ = 0;
+};
+
+}  // namespace janus

@@ -1,0 +1,67 @@
+#include "janus/util/geometry.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace janus {
+
+std::int64_t manhattan(const Point& a, const Point& b) {
+    return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+double euclidean(const Point& a, const Point& b) {
+    const double dx = static_cast<double>(a.x - b.x);
+    const double dy = static_cast<double>(a.y - b.y);
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+Rect intersection(const Rect& a, const Rect& b) {
+    if (a.empty() || b.empty()) return Rect{};
+    Rect r{std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y),
+           std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y)};
+    return r.empty() ? Rect{} : r;
+}
+
+Rect bounding_box(const Rect& a, const Rect& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return Rect{std::min(a.lo.x, b.lo.x), std::min(a.lo.y, b.lo.y),
+                std::max(a.hi.x, b.hi.x), std::max(a.hi.y, b.hi.y)};
+}
+
+Rect bounding_box(const std::vector<Point>& pts) {
+    if (pts.empty()) return Rect{};
+    Rect r{pts.front(), pts.front()};
+    for (const Point& p : pts) {
+        r.lo.x = std::min(r.lo.x, p.x);
+        r.lo.y = std::min(r.lo.y, p.y);
+        r.hi.x = std::max(r.hi.x, p.x);
+        r.hi.y = std::max(r.hi.y, p.y);
+    }
+    return r;
+}
+
+std::int64_t hpwl(const std::vector<Point>& pts) {
+    const Rect bb = bounding_box(pts);
+    return bb.width() + bb.height();
+}
+
+std::int64_t rect_gap(const Rect& a, const Rect& b) {
+    if (a.empty() || b.empty()) return std::numeric_limits<std::int64_t>::max();
+    const std::int64_t gx =
+        std::max<std::int64_t>(0, std::max(a.lo.x - b.hi.x, b.lo.x - a.hi.x));
+    const std::int64_t gy =
+        std::max<std::int64_t>(0, std::max(a.lo.y - b.hi.y, b.lo.y - a.hi.y));
+    return std::max(gx, gy);
+}
+
+std::string to_string(const Point& p) {
+    return "(" + std::to_string(p.x) + ", " + std::to_string(p.y) + ")";
+}
+
+std::string to_string(const Rect& r) {
+    return "[" + to_string(r.lo) + " - " + to_string(r.hi) + "]";
+}
+
+}  // namespace janus

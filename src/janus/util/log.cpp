@@ -1,0 +1,29 @@
+#include "janus/util/log.hpp"
+
+#include <iostream>
+
+namespace janus {
+namespace {
+LogLevel g_level = LogLevel::Warning;
+
+const char* prefix(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "[debug] ";
+        case LogLevel::Info: return "[info] ";
+        case LogLevel::Warning: return "[warn] ";
+        case LogLevel::Error: return "[error] ";
+        case LogLevel::Silent: return "";
+    }
+    return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    std::cerr << prefix(level) << msg << '\n';
+}
+
+}  // namespace janus

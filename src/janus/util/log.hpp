@@ -1,0 +1,24 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging to stderr. Off by default above Warning so tests
+/// and benches stay quiet; flows can raise verbosity for debugging.
+
+#include <string>
+
+namespace janus {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Silent = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr if `level` >= the global threshold.
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
+inline void log_warning(const std::string& m) { log(LogLevel::Warning, m); }
+inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace janus

@@ -1,0 +1,82 @@
+#include "janus/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace janus {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    // splitmix64 expansion avoids the all-zero state xoshiro cannot leave.
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling removes modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range [lo, hi] wrapped; take raw bits.
+    if (span == 0) return static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+    double u1 = next_double();
+    const double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+std::size_t Rng::pick_index(std::size_t size) {
+    assert(size > 0);
+    return static_cast<std::size_t>(next_below(size));
+}
+
+}  // namespace janus

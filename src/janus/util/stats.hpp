@@ -1,0 +1,40 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming summary statistics used by benchmark harnesses and the
+/// self-learning flow tuner.
+
+#include <cstddef>
+#include <vector>
+
+namespace janus {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance
+/// without storing samples.
+class RunningStats {
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); zero for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between order
+/// statistics; `q` in [0, 1]. Returns 0 for an empty input.
+double percentile(std::vector<double> samples, double q);
+
+/// Geometric mean; all samples must be positive. Returns 0 for empty input.
+double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace janus

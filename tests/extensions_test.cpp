@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "janus/dft/test_points.hpp"
+#include "janus/litho/process_window.hpp"
+#include "janus/logic/aig_rewrite.hpp"
+#include "janus/logic/equivalence.hpp"
+#include "janus/logic/tech_map.hpp"
+#include "janus/netlist/generator.hpp"
+#include "janus/timing/sizing.hpp"
+
+namespace janus {
+namespace {
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+// ------------------------------------------------------------- equivalence
+
+TEST(Equivalence, ProvesOptimizedDesignEqual) {
+    const Netlist golden = generate_adder(lib28(), 6);
+    const Aig aig = optimize(Aig::from_netlist(golden));
+    const Netlist mapped = tech_map(aig, lib28());
+    const auto res = check_equivalence(golden, mapped);
+    EXPECT_TRUE(res.equivalent);
+    EXPECT_EQ(res.method, "proved");
+    EXPECT_EQ(res.vectors_checked, std::size_t{1} << 13);
+}
+
+TEST(Equivalence, FindsCounterexampleExactly) {
+    // Two designs differing on exactly one minterm.
+    Netlist a(lib28(), "a");
+    const NetId x = a.add_primary_input("x");
+    const NetId y = a.add_primary_input("y");
+    const InstId ga = a.add_instance("g", *a.library().find("AND2_X1"), {x, y});
+    a.add_primary_output("o", a.instance(ga).output);
+
+    Netlist b(lib28(), "b");
+    const NetId x2 = b.add_primary_input("x");
+    const NetId y2 = b.add_primary_input("y");
+    const InstId gb = b.add_instance("g", *b.library().find("OR2_X1"), {x2, y2});
+    b.add_primary_output("o", b.instance(gb).output);
+
+    const auto res = check_equivalence(a, b);
+    EXPECT_FALSE(res.equivalent);
+    ASSERT_TRUE(res.counterexample.has_value());
+    // AND and OR differ on {01, 10}: the counterexample must be one of them.
+    EXPECT_TRUE(*res.counterexample == 1 || *res.counterexample == 2);
+}
+
+TEST(Equivalence, LargeDesignFallsBackToSampling) {
+    GeneratorConfig cfg;
+    cfg.num_inputs = 24;  // > exact limit
+    cfg.num_gates = 200;
+    const Netlist a = generate_random(lib28(), cfg);
+    const Netlist b = generate_random(lib28(), cfg);  // identical seed
+    const auto res = check_equivalence(a, b);
+    EXPECT_TRUE(res.equivalent);
+    EXPECT_EQ(res.method, "sampled");
+    EXPECT_GT(res.vectors_checked, 1000u);
+}
+
+TEST(Equivalence, InterfaceMismatchThrows) {
+    const Netlist a = generate_parity(lib28(), 4);
+    const Netlist b = generate_parity(lib28(), 5);
+    EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ sizing
+
+TEST(Sizing, ImprovesCriticalDelayOnLoadedPath) {
+    // A chain driving heavy fanout at each stage: X1 everywhere is slow.
+    Netlist nl(lib28(), "loaded");
+    const auto inv = nl.library().find("INV_X1");
+    NetId cur = nl.add_primary_input("a");
+    for (int s = 0; s < 10; ++s) {
+        const InstId g = nl.add_instance("s" + std::to_string(s), *inv, {cur});
+        cur = nl.instance(g).output;
+        // Side loads.
+        for (int l = 0; l < 6; ++l) {
+            const InstId ld = nl.add_instance(
+                "l" + std::to_string(s) + "_" + std::to_string(l), *inv, {cur});
+            nl.add_primary_output("lo" + std::to_string(s) + "_" + std::to_string(l),
+                                  nl.instance(ld).output);
+        }
+    }
+    nl.add_primary_output("y", cur);
+
+    SizingOptions opts;
+    opts.sta.clock_period_ps = 100.0;  // unmeetable: size as far as possible
+    opts.stop_when_met = false;
+    const SizingResult res = size_for_timing(nl, opts);
+    EXPECT_LT(res.delay_after_ps, res.delay_before_ps);
+    EXPECT_GT(res.cells_resized, 0);
+    EXPECT_GT(res.area_after_um2, res.area_before_um2);  // speed costs area
+    EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Sizing, StopsWhenTimingMet) {
+    const Netlist base = generate_adder(lib28(), 4);
+    Netlist nl = base;
+    SizingOptions opts;
+    opts.sta.clock_period_ps = 1e6;  // trivially met
+    const SizingResult res = size_for_timing(nl, opts);
+    EXPECT_EQ(res.cells_resized, 0);
+    EXPECT_EQ(res.passes, 0);
+}
+
+TEST(Sizing, PreservesFunction) {
+    const Netlist golden = generate_comparator(lib28(), 5);
+    Netlist nl = golden;
+    SizingOptions opts;
+    opts.sta.clock_period_ps = 10.0;
+    opts.stop_when_met = false;
+    size_for_timing(nl, opts);
+    const auto res = check_equivalence(golden, nl);
+    EXPECT_TRUE(res.equivalent);
+}
+
+// ------------------------------------------------------------- test points
+
+TEST(TestPoints, RaiseCoverageOnRedundantLogic) {
+    // Build a design with poor random observability: one 16-input AND
+    // chain. A fault deep in the chain propagates to the sole output only
+    // when *every* other input is 1 (p = 2^-15) — random patterns cannot
+    // observe it, an observe point mid-chain can.
+    Netlist nl(lib28(), "deepand");
+    std::vector<NetId> pis;
+    for (int i = 0; i < 16; ++i) pis.push_back(nl.add_primary_input("i" + std::to_string(i)));
+    const auto and2 = nl.library().find("AND2_X1");
+    NetId cur = pis[0];
+    for (int i = 1; i < 16; ++i) {
+        const InstId g = nl.add_instance("t" + std::to_string(i), *and2,
+                                         {cur, pis[static_cast<std::size_t>(i)]});
+        cur = nl.instance(g).output;
+    }
+    nl.add_primary_output("y", cur);
+
+    TestPointOptions opts;
+    opts.atpg.max_patterns = 192;
+    opts.atpg.seed = 3;
+    const TestPointResult res = insert_observe_points(nl, opts);
+    EXPECT_GT(res.coverage_after, res.coverage_before);
+    EXPECT_FALSE(res.observe_points.empty());
+    EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(TestPoints, NoPointsWhenCoverageComplete) {
+    Netlist nl = generate_parity(lib28(), 8);  // trivially testable
+    TestPointOptions opts;
+    opts.atpg.target_coverage = 1.0;
+    opts.atpg.max_patterns = 2048;
+    const TestPointResult res = insert_observe_points(nl, opts);
+    EXPECT_GE(res.coverage_before, 0.99);
+    EXPECT_TRUE(res.observe_points.empty());
+}
+
+// ---------------------------------------------------------- process window
+
+TEST(ProcessWindow, NominalOnlyMaskHasNarrowWindow) {
+    const OpticalModel optics;
+    // Aggressive lines, model-OPC'd at nominal.
+    std::vector<MaskFeature> f;
+    f.push_back({Rect{0, 0, 900, 75}, 0, 0, 0, 0});
+    f.push_back({Rect{0, 225, 900, 300}, 0, 0, 0, 0});
+    ModelOpcOptions mopts;
+    mopts.iterations = 14;
+    model_based_opc(f, optics, mopts);
+
+    const ProcessWindowResult pw = analyze_process_window(f, optics);
+    EXPECT_EQ(pw.corners_total, 12u);
+    // Nominal corner must pass; the full window usually does not.
+    bool nominal_pass = false;
+    for (const auto& [ss, ts, err] : pw.corner_errors) {
+        if (ss == 1.0 && ts == 0.0) nominal_pass = err <= 0.25;
+    }
+    EXPECT_TRUE(nominal_pass);
+    EXPECT_LE(pw.corners_passing, pw.corners_total);
+}
+
+TEST(ProcessWindow, RelaxedFeatureHasFullWindow) {
+    const OpticalModel optics;
+    std::vector<MaskFeature> f;
+    f.push_back({Rect{0, 0, 2000, 400}, 0, 0, 0, 0});
+    ProcessWindowOptions opts;
+    opts.nm_per_pixel = 6.0;
+    const ProcessWindowResult pw = analyze_process_window(f, optics, opts);
+    EXPECT_EQ(pw.corners_passing, pw.corners_total);
+    EXPECT_FALSE(pw.any_feature_lost);
+}
+
+TEST(ProcessWindow, WindowShrinksWithFeatureSize) {
+    const OpticalModel optics;
+    const auto window_of = [&](double width) {
+        std::vector<MaskFeature> f;
+        const auto w = static_cast<std::int64_t>(width);
+        f.push_back({Rect{0, 0, 10 * w, w}, 0, 0, 0, 0});
+        f.push_back({Rect{0, 3 * w, 10 * w, 4 * w}, 0, 0, 0, 0});
+        ModelOpcOptions mopts;
+        mopts.iterations = 10;
+        mopts.nm_per_pixel = std::max(2.0, width / 30.0);
+        model_based_opc(f, optics, mopts);
+        ProcessWindowOptions opts;
+        opts.nm_per_pixel = mopts.nm_per_pixel;
+        return analyze_process_window(f, optics, opts).yield_fraction();
+    };
+    EXPECT_GE(window_of(300.0), window_of(80.0));
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "janus/netlist/generator.hpp"
+#include "janus/power/upf.hpp"
+#include "janus/timing/corners.hpp"
+#include "janus/timing/sta.hpp"
+
+namespace janus {
+namespace {
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+Netlist two_inverters() {
+    Netlist nl(lib28(), "t");
+    const NetId a = nl.add_primary_input("a");
+    const InstId g0 = nl.add_instance("u_core", *nl.library().find("INV_X1"), {a});
+    const InstId g1 = nl.add_instance("u_periph", *nl.library().find("INV_X1"),
+                                      {nl.instance(g0).output});
+    nl.add_primary_output("y", nl.instance(g1).output);
+    return nl;
+}
+
+// --------------------------------------------------------------- upf / cpf
+
+TEST(PowerIntentIo, ParsesUpf) {
+    const Netlist nl = two_inverters();
+    const std::string upf =
+        "# test intent\n"
+        "create_power_domain PD_CORE -elements { u_core }\n"
+        "create_supply_net VDD_LOW -voltage 0.7\n"
+        "associate_supply_net VDD_LOW -domain PD_CORE\n"
+        "set_domain_shutdown PD_CORE -on_fraction 0.25\n";
+    std::istringstream in(upf);
+    const PowerIntent intent = read_power_intent(in, nl, IntentDialect::Upf, 0.95);
+    ASSERT_EQ(intent.domains().size(), 2u);
+    const PowerDomain& d = intent.domains()[1];
+    EXPECT_EQ(d.name, "PD_CORE");
+    EXPECT_DOUBLE_EQ(d.voltage, 0.7);
+    EXPECT_TRUE(d.can_shutdown);
+    EXPECT_DOUBLE_EQ(d.on_fraction, 0.25);
+    ASSERT_EQ(d.members.size(), 1u);
+    EXPECT_EQ(nl.instance(d.members[0]).name, "u_core");
+}
+
+TEST(PowerIntentIo, ParsesCpf) {
+    const Netlist nl = two_inverters();
+    const std::string cpf =
+        "create_power_domain -name PD_CORE -instances { u_core }\n"
+        "create_nominal_condition -name nc_low -voltage 0.7\n"
+        "update_power_domain -name PD_CORE -nominal nc_low\n"
+        "update_power_domain -name PD_CORE -shutoff -duty 0.25\n";
+    std::istringstream in(cpf);
+    const PowerIntent intent = read_power_intent(in, nl, IntentDialect::Cpf, 0.95);
+    ASSERT_EQ(intent.domains().size(), 2u);
+    EXPECT_DOUBLE_EQ(intent.domains()[1].voltage, 0.7);
+    EXPECT_TRUE(intent.domains()[1].can_shutdown);
+}
+
+TEST(PowerIntentIo, DialectsRoundTripEquivalently) {
+    // The panel's pain point: one intent, two formats. Conversion must
+    // preserve semantics both ways.
+    const Netlist nl = two_inverters();
+    const std::string upf =
+        "create_power_domain PD1 -elements { u_core u_periph }\n"
+        "create_supply_net V1 -voltage 0.81\n"
+        "associate_supply_net V1 -domain PD1\n"
+        "set_domain_shutdown PD1 -on_fraction 0.5\n";
+    const std::string cpf =
+        convert_power_intent(upf, nl, IntentDialect::Upf, IntentDialect::Cpf, 0.95);
+    EXPECT_NE(cpf.find("create_nominal_condition"), std::string::npos);
+    const std::string upf2 =
+        convert_power_intent(cpf, nl, IntentDialect::Cpf, IntentDialect::Upf, 0.95);
+
+    std::istringstream a(upf), b(upf2);
+    const PowerIntent ia = read_power_intent(a, nl, IntentDialect::Upf, 0.95);
+    const PowerIntent ib = read_power_intent(b, nl, IntentDialect::Upf, 0.95);
+    ASSERT_EQ(ia.domains().size(), ib.domains().size());
+    for (std::size_t d = 0; d < ia.domains().size(); ++d) {
+        EXPECT_EQ(ia.domains()[d].name, ib.domains()[d].name);
+        EXPECT_DOUBLE_EQ(ia.domains()[d].voltage, ib.domains()[d].voltage);
+        EXPECT_EQ(ia.domains()[d].can_shutdown, ib.domains()[d].can_shutdown);
+        EXPECT_DOUBLE_EQ(ia.domains()[d].on_fraction, ib.domains()[d].on_fraction);
+        EXPECT_EQ(ia.domains()[d].members, ib.domains()[d].members);
+    }
+    // Both produce identical power estimates.
+    const auto node = *find_node("28nm");
+    EXPECT_NEAR(ia.estimate(nl, node).total_mw(), ib.estimate(nl, node).total_mw(),
+                1e-12);
+}
+
+TEST(PowerIntentIo, ErrorsAreDiagnosed) {
+    const Netlist nl = two_inverters();
+    {
+        std::istringstream in("create_power_domain PD -elements { ghost }\n");
+        EXPECT_THROW(read_power_intent(in, nl, IntentDialect::Upf, 0.95),
+                     std::runtime_error);
+    }
+    {
+        std::istringstream in("bogus_command PD\n");
+        EXPECT_THROW(read_power_intent(in, nl, IntentDialect::Upf, 0.95),
+                     std::runtime_error);
+    }
+    {
+        std::istringstream in("create_power_domain PD -elements { u_core\n");
+        EXPECT_THROW(read_power_intent(in, nl, IntentDialect::Upf, 0.95),
+                     std::runtime_error);
+    }
+}
+
+// -------------------------------------------------------------------- hold
+
+TEST(HoldAnalysis, ShortPathViolatesLongPathHolds) {
+    // Flop -> flop direct (short path) plus a long path: the direct one
+    // should dominate hold, the long one setup.
+    Netlist nl(lib28(), "hold");
+    const auto dff = nl.library().find("DFF_X1");
+    const auto inv = nl.library().find("INV_X1");
+    const NetId a = nl.add_primary_input("a");
+    // Input buffered so every flop D pin sees a nonzero min arrival.
+    const InstId ib = nl.add_instance("ib", *inv, {a});
+    const InstId f0 = nl.add_instance("f0", *dff, {nl.instance(ib).output});
+    // Direct path f0 -> f1.
+    const InstId f1 = nl.add_instance("f1", *dff, {nl.instance(f0).output});
+    (void)f1;
+    // Long path f0 -> 8 inv -> f2.
+    NetId cur = nl.instance(f0).output;
+    for (int i = 0; i < 8; ++i) {
+        const InstId g = nl.add_instance("i" + std::to_string(i), *inv, {cur});
+        cur = nl.instance(g).output;
+    }
+    const InstId f2 = nl.add_instance("f2", *dff, {cur});
+    nl.add_primary_output("q", nl.instance(f2).output);
+
+    StaOptions strict;
+    strict.hold_ps = 40.0;  // hold window longer than clk-to-q alone
+    strict.clk_to_q_ps = 10.0;
+    const TimingReport r = run_sta(nl, strict);
+    EXPECT_FALSE(r.hold_met());
+    EXPECT_GE(r.hold_violations, 1u);
+
+    StaOptions loose;
+    loose.hold_ps = 2.0;
+    loose.clk_to_q_ps = 10.0;
+    EXPECT_TRUE(run_sta(nl, loose).hold_met());
+}
+
+// ----------------------------------------------------------------- corners
+
+TEST(Corners, SlowCornerBindsSetupFastBindsHold) {
+    // Counter: every flop D arrives through logic, so hold slack scales
+    // with the derate and the fast corner binds.
+    const Netlist nl = generate_counter(lib28(), 16);
+    StaOptions base;
+    base.clock_period_ps = 1.05 * run_sta(nl, base).critical_delay_ps;
+    const MultiCornerReport mc = run_multi_corner(nl, base);
+    ASSERT_EQ(mc.reports.size(), 3u);
+    EXPECT_EQ(mc.worst_setup_corner, "ss_lowv_hot");
+    EXPECT_EQ(mc.worst_hold_corner, "ff_highv_cold");
+    // The slow corner must show a longer critical delay than nominal.
+    EXPECT_GT(mc.reports[0].critical_delay_ps, mc.reports[1].critical_delay_ps);
+    // The 5% margined clock fails at the +30% slow corner.
+    EXPECT_LT(mc.worst_setup_slack_ps, 0.0);
+}
+
+TEST(Corners, GenerousClockSignsOff) {
+    const Netlist nl = generate_adder(lib28(), 8);
+    StaOptions base;
+    base.clock_period_ps = 3.0 * run_sta(nl, base).critical_delay_ps;
+    const MultiCornerReport mc = run_multi_corner(nl, base);
+    EXPECT_GE(mc.worst_setup_slack_ps, 0.0);
+    // Purely combinational: no flop D pins, hold is vacuous (slack 0).
+    EXPECT_TRUE(mc.signoff());
+}
+
+}  // namespace
+}  // namespace janus

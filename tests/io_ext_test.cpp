@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "janus/netlist/generator.hpp"
+#include "janus/netlist/io.hpp"
+#include "janus/netlist/verilog.hpp"
+#include "janus/place/analytic_place.hpp"
+#include "janus/place/legalize.hpp"
+
+namespace janus {
+namespace {
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+// ----------------------------------------------------------------- verilog
+
+TEST(Verilog, CombinationalModuleStructure) {
+    const Netlist nl = generate_adder(lib28(), 3);
+    const std::string v = netlist_to_verilog(nl);
+    EXPECT_NE(v.find("module adder3 ("), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    EXPECT_NE(v.find("input a0;"), std::string::npos);
+    EXPECT_NE(v.find("output cout;"), std::string::npos);
+    EXPECT_NE(v.find("XOR2_X1"), std::string::npos);
+    EXPECT_NE(v.find("MAJ3_X1"), std::string::npos);
+    // No clock port for combinational designs.
+    EXPECT_EQ(v.find("input clk;"), std::string::npos);
+}
+
+TEST(Verilog, SequentialModuleHasClockAndFlopPins) {
+    const Netlist nl = generate_counter(lib28(), 3);
+    const std::string v = netlist_to_verilog(nl);
+    EXPECT_NE(v.find("input clk;"), std::string::npos);
+    EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+    EXPECT_NE(v.find(".D(n"), std::string::npos);
+    EXPECT_NE(v.find(".Q(n"), std::string::npos);
+}
+
+TEST(Verilog, SanitizesIdentifiers) {
+    Netlist nl(lib28(), "weird.top");
+    const NetId a = nl.add_primary_input("in.0");
+    const InstId g = nl.add_instance("g.0", *nl.library().find("INV_X1"), {a});
+    nl.add_primary_output("out-x", nl.instance(g).output);
+    const std::string v = netlist_to_verilog(nl);
+    EXPECT_NE(v.find("module weird_top"), std::string::npos);
+    EXPECT_NE(v.find("in_0"), std::string::npos);
+    EXPECT_NE(v.find("out_x"), std::string::npos);
+    EXPECT_EQ(v.find("in.0"), std::string::npos);
+}
+
+TEST(Verilog, InstanceCountMatches) {
+    const Netlist nl = generate_parity(lib28(), 8);
+    const std::string v = netlist_to_verilog(nl);
+    std::size_t count = 0;
+    for (std::size_t pos = v.find("XOR2_X1"); pos != std::string::npos;
+         pos = v.find("XOR2_X1", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, nl.num_instances());
+}
+
+// --------------------------------------------------------------- placement
+
+TEST(PlacementIo, RoundTripExact) {
+    GeneratorConfig cfg;
+    cfg.num_gates = 200;
+    Netlist nl = generate_random(lib28(), cfg);
+    const PlacementArea area = make_placement_area(nl, *find_node("28nm"));
+    analytic_place(nl, area);
+    legalize(nl, area);
+
+    std::ostringstream out;
+    write_placement(out, nl);
+
+    // Fresh copy of the same design: apply the saved placement.
+    Netlist fresh = generate_random(lib28(), cfg);
+    std::istringstream in(out.str());
+    const std::size_t placed = read_placement(in, fresh);
+    EXPECT_EQ(placed, nl.num_instances());
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        EXPECT_EQ(fresh.instance(i).position, nl.instance(i).position) << i;
+        EXPECT_TRUE(fresh.instance(i).placed);
+    }
+    EXPECT_TRUE(is_legal(fresh, area));
+}
+
+TEST(PlacementIo, UnknownInstanceThrows) {
+    Netlist nl(lib28(), "t");
+    const NetId a = nl.add_primary_input("a");
+    nl.add_instance("g", *nl.library().find("INV_X1"), {a});
+    std::istringstream in("place nonexistent 5 5\n");
+    EXPECT_THROW(read_placement(in, nl), std::runtime_error);
+}
+
+TEST(PlacementIo, MalformedLineThrows) {
+    Netlist nl(lib28(), "t");
+    std::istringstream in("place onlyaname\n");
+    EXPECT_THROW(read_placement(in, nl), std::runtime_error);
+}
+
+TEST(PlacementIo, SkipsUnplacedInstances) {
+    Netlist nl(lib28(), "t");
+    const NetId a = nl.add_primary_input("a");
+    const InstId g0 = nl.add_instance("g0", *nl.library().find("INV_X1"), {a});
+    nl.add_instance("g1", *nl.library().find("INV_X1"), {a});
+    nl.instance(g0).position = {100, 200};
+    nl.instance(g0).placed = true;
+    std::ostringstream out;
+    write_placement(out, nl);
+    EXPECT_NE(out.str().find("g0 100 200"), std::string::npos);
+    EXPECT_EQ(out.str().find("g1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace janus

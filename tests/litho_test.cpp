@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "janus/litho/aerial_image.hpp"
+#include "janus/litho/mask.hpp"
+#include "janus/litho/opc.hpp"
+
+namespace janus {
+namespace {
+
+/// A pair of lines-and-space features of the given width/pitch (nm).
+std::vector<MaskFeature> line_pair(double width_nm, double pitch_nm,
+                                   double length_nm = 600) {
+    std::vector<MaskFeature> f;
+    f.push_back({Rect{0, 0, static_cast<std::int64_t>(length_nm),
+                      static_cast<std::int64_t>(width_nm)},
+                 0, 0, 0, 0});
+    f.push_back({Rect{0, static_cast<std::int64_t>(pitch_nm),
+                      static_cast<std::int64_t>(length_nm),
+                      static_cast<std::int64_t>(pitch_nm + width_nm)},
+                 0, 0, 0, 0});
+    return f;
+}
+
+TEST(Mask, RasterizesDrawnShapes) {
+    const auto features = line_pair(100, 300);
+    const MaskRaster raster(features, 4.0, 50.0);
+    EXPECT_GT(raster.width(), 100);
+    // A point inside the first line is set; a point between lines is not.
+    const int y_line = static_cast<int>((50 + 50) / 4);  // margin + mid-line
+    const int y_gap = static_cast<int>((50 + 200) / 4);
+    const int x_mid = raster.width() / 2;
+    EXPECT_EQ(raster.pixel(x_mid, y_line), 1.0);
+    EXPECT_EQ(raster.pixel(x_mid, y_gap), 0.0);
+}
+
+TEST(Mask, BiasEnlargesDrawnShape) {
+    MaskFeature f{Rect{0, 0, 100, 100}, 10, 10, 10, 10};
+    const Rect d = f.drawn();
+    EXPECT_EQ(d, (Rect{-10, -10, 110, 110}));
+}
+
+TEST(AerialImage, BlurReducesContrastForSmallFeatures) {
+    OpticalModel optics;  // sigma ~64 nm
+    const auto big = line_pair(300, 900);
+    const auto small = line_pair(60, 180);
+    const MaskRaster rb(big, 4.0, 200);
+    const MaskRaster rs(small, 4.0, 200);
+    const auto pb = simulate_print(rb, optics);
+    const auto ps = simulate_print(rs, optics);
+    // Peak intensity inside a big feature approaches 1; small features
+    // never reach it.
+    double peak_b = 0, peak_s = 0;
+    for (const double v : pb.intensity) peak_b = std::max(peak_b, v);
+    for (const double v : ps.intensity) peak_s = std::max(peak_s, v);
+    EXPECT_GT(peak_b, 0.95);
+    EXPECT_LT(peak_s, peak_b);
+}
+
+TEST(AerialImage, LargeFeaturePrintsAccurately) {
+    const auto features = line_pair(400, 1200);
+    const EpeReport rep = check_print(features, OpticalModel{});
+    EXPECT_LT(rep.mean_epe_nm, 25.0);  // corner rounding dominates the mean
+    EXPECT_FALSE(rep.feature_lost);
+}
+
+TEST(AerialImage, TinyIsolatedFeatureIsLostWithoutOpc) {
+    std::vector<MaskFeature> f;
+    f.push_back({Rect{0, 0, 60, 60}, 0, 0, 0, 0});
+    const EpeReport rep = check_print(f, OpticalModel{});
+    EXPECT_TRUE(rep.feature_lost);
+}
+
+TEST(Opc, RuleBasedBiasHelpsNarrowLines) {
+    const OpticalModel optics;
+    auto features = line_pair(90, 270);
+    const EpeReport before = check_print(features, optics);
+    rule_based_opc(features, optics);
+    const EpeReport after = check_print(features, optics);
+    EXPECT_LT(after.area_error, before.area_error);
+}
+
+TEST(Opc, ModelBasedConvergesBelowRuleBased) {
+    const OpticalModel optics;
+    auto rule_features = line_pair(90, 270);
+    rule_based_opc(rule_features, optics);
+    const EpeReport rule_rep = check_print(rule_features, optics);
+
+    auto model_features = line_pair(90, 270);
+    const ModelOpcResult res = model_based_opc(model_features, optics);
+    EXPECT_LT(res.final.mean_epe_nm, res.initial.mean_epe_nm);
+    EXPECT_LE(res.final.area_error, rule_rep.area_error * 1.1);
+}
+
+TEST(Opc, RecoversLostFeature) {
+    const OpticalModel optics;
+    std::vector<MaskFeature> features;
+    features.push_back({Rect{0, 0, 90, 90}, 0, 0, 0, 0});
+    EXPECT_TRUE(check_print(features, optics).feature_lost);
+    ModelOpcOptions opts;
+    opts.iterations = 20;
+    const auto res = model_based_opc(features, optics, opts);
+    EXPECT_FALSE(res.final.feature_lost);
+}
+
+TEST(Opc, BiasRespectsMaskRuleLimit) {
+    const OpticalModel optics;
+    std::vector<MaskFeature> features;
+    features.push_back({Rect{0, 0, 40, 40}, 0, 0, 0, 0});  // hopeless feature
+    ModelOpcOptions opts;
+    opts.max_bias_nm = 12.0;
+    model_based_opc(features, optics, opts);
+    for (const MaskFeature& f : features) {
+        EXPECT_LE(f.bias_left, 12.0);
+        EXPECT_LE(f.bias_right, 12.0);
+        EXPECT_LE(f.bias_top, 12.0);
+        EXPECT_LE(f.bias_bottom, 12.0);
+    }
+}
+
+class FeatureSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FeatureSizeSweep, OpcNeverHurts) {
+    const double width = GetParam();
+    const OpticalModel optics;
+    auto features = line_pair(width, width * 3);
+    const EpeReport before = check_print(features, optics);
+    const ModelOpcResult res = model_based_opc(features, optics);
+    EXPECT_LE(res.final.area_error, before.area_error + 0.02) << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FeatureSizeSweep,
+                         ::testing::Values(80.0, 120.0, 180.0, 260.0, 400.0));
+
+}  // namespace
+}  // namespace janus

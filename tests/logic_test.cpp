@@ -1,0 +1,633 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "janus/logic/aig.hpp"
+#include "janus/logic/aig_balance.hpp"
+#include "janus/logic/aig_rewrite.hpp"
+#include "janus/logic/bbdd.hpp"
+#include "janus/logic/bdd.hpp"
+#include "janus/logic/cover.hpp"
+#include "janus/logic/cube.hpp"
+#include "janus/logic/cut_enum.hpp"
+#include "janus/logic/espresso.hpp"
+#include "janus/logic/tech_map.hpp"
+#include "janus/logic/truth_table.hpp"
+#include "janus/netlist/generator.hpp"
+#include "janus/util/rng.hpp"
+
+namespace janus {
+namespace {
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+/// Checks two netlists are behaviourally equivalent on random vectors.
+void expect_equiv(const Netlist& a, const Netlist& b, int vectors, Rng& rng) {
+    ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+    ASSERT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+    for (int t = 0; t < vectors; ++t) {
+        std::vector<bool> pis;
+        for (std::size_t i = 0; i < a.primary_inputs().size(); ++i) {
+            pis.push_back(rng.next_bool());
+        }
+        const auto va = a.evaluate(pis, {});
+        const auto vb = b.evaluate(pis, {});
+        for (std::size_t o = 0; o < a.primary_outputs().size(); ++o) {
+            ASSERT_EQ(va[a.primary_outputs()[o].second],
+                      vb[b.primary_outputs()[o].second])
+                << "output " << o << " vector " << t;
+        }
+    }
+}
+
+// ------------------------------------------------------------- truth table
+
+TEST(TruthTable, VariableProjection) {
+    const auto x0 = TruthTable::variable(3, 0);
+    const auto x2 = TruthTable::variable(3, 2);
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        EXPECT_EQ(x0.bit(m), static_cast<bool>(m & 1));
+        EXPECT_EQ(x2.bit(m), static_cast<bool>(m & 4));
+    }
+}
+
+TEST(TruthTable, LargeVariableProjection) {
+    const auto x7 = TruthTable::variable(8, 7);
+    EXPECT_FALSE(x7.bit(0));
+    EXPECT_TRUE(x7.bit(128));
+    EXPECT_TRUE(x7.bit(255));
+    EXPECT_EQ(x7.count_ones(), 128u);
+}
+
+TEST(TruthTable, Operators) {
+    const auto a = TruthTable::variable(2, 0);
+    const auto b = TruthTable::variable(2, 1);
+    EXPECT_EQ((a & b).count_ones(), 1u);
+    EXPECT_EQ((a | b).count_ones(), 3u);
+    EXPECT_EQ((a ^ b).count_ones(), 2u);
+    EXPECT_EQ((~a).count_ones(), 2u);
+    EXPECT_TRUE((a ^ a).is_constant(false));
+}
+
+TEST(TruthTable, CofactorAndDependence) {
+    const auto a = TruthTable::variable(3, 0);
+    const auto b = TruthTable::variable(3, 1);
+    const auto f = a & b;
+    EXPECT_TRUE(f.depends_on(0));
+    EXPECT_TRUE(f.depends_on(1));
+    EXPECT_FALSE(f.depends_on(2));
+    EXPECT_TRUE(f.cofactor(0, false).is_constant(false));
+    EXPECT_EQ(f.cofactor(0, true), b);
+}
+
+TEST(TruthTable, Permute) {
+    // f = x0 & !x1; swap inputs -> x1 & !x0.
+    const auto f = TruthTable::variable(2, 0) & ~TruthTable::variable(2, 1);
+    const auto g = f.permute({1, 0});
+    EXPECT_EQ(g, TruthTable::variable(2, 1) & ~TruthTable::variable(2, 0));
+}
+
+TEST(TruthTable, HexRoundTrip) {
+    const auto a = TruthTable::variable(3, 0);
+    EXPECT_EQ(a.to_hex(), "aa");
+    const auto c1 = TruthTable::constant(2, true);
+    EXPECT_EQ(c1.to_hex(), "f");
+}
+
+// ------------------------------------------------------------------- cubes
+
+TEST(Cube, FromToString) {
+    const Cube c = Cube::from_string("1-0");
+    EXPECT_EQ(c.get(0), Literal::Pos);
+    EXPECT_EQ(c.get(1), Literal::DC);
+    EXPECT_EQ(c.get(2), Literal::Neg);
+    EXPECT_EQ(c.to_string(), "1-0");
+    EXPECT_EQ(c.num_literals(), 2);
+}
+
+TEST(Cube, ContainsAndIntersect) {
+    const Cube all = Cube(3);
+    const Cube c = Cube::from_string("1-0");
+    const Cube m = Cube::from_string("110");
+    EXPECT_TRUE(all.contains(c));
+    EXPECT_TRUE(c.contains(m));
+    EXPECT_FALSE(m.contains(c));
+    const auto i = c.intersect(Cube::from_string("-10"));
+    ASSERT_TRUE(i.has_value());
+    EXPECT_EQ(i->to_string(), "110");
+    EXPECT_FALSE(c.intersect(Cube::from_string("0--")).has_value());
+}
+
+TEST(Cube, DistanceAndConsensus) {
+    const Cube a = Cube::from_string("1-1");
+    const Cube b = Cube::from_string("0-1");
+    EXPECT_EQ(a.distance(b), 1);
+    const auto cons = a.consensus(b);
+    ASSERT_TRUE(cons.has_value());
+    EXPECT_EQ(cons->to_string(), "--1");
+    EXPECT_FALSE(a.consensus(Cube::from_string("0-0")).has_value());
+}
+
+TEST(Cube, CoversMinterm) {
+    const Cube c = Cube::from_string("1-0");
+    EXPECT_TRUE(c.covers_minterm(0b001));   // x0=1, x1=0, x2=0
+    EXPECT_TRUE(c.covers_minterm(0b011));
+    EXPECT_FALSE(c.covers_minterm(0b101));  // x2=1 violates
+    EXPECT_FALSE(c.covers_minterm(0b000));  // x0=0 violates
+}
+
+// ------------------------------------------------------------------ covers
+
+TEST(Cover, TautologyDetection) {
+    Cover f(2);
+    f.add(Cube::from_string("1-"));
+    EXPECT_FALSE(f.is_tautology());
+    f.add(Cube::from_string("0-"));
+    EXPECT_TRUE(f.is_tautology());
+}
+
+TEST(Cover, ComplementIsExact) {
+    Rng rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 4;
+        TruthTable tt(n);
+        for (std::uint64_t m = 0; m < tt.num_minterms_space(); ++m) {
+            tt.set_bit(m, rng.next_bool());
+        }
+        const Cover cov = Cover::from_truth_table(tt);
+        const Cover comp = cov.complement();
+        EXPECT_EQ(comp.to_truth_table(), ~tt) << "trial " << trial;
+    }
+}
+
+TEST(Cover, ContainsCube) {
+    Cover f(3);
+    f.add(Cube::from_string("11-"));
+    f.add(Cube::from_string("1-1"));
+    EXPECT_TRUE(f.contains_cube(Cube::from_string("111")));
+    EXPECT_FALSE(f.contains_cube(Cube::from_string("100")));
+    // Covered jointly by the two cubes:
+    EXPECT_TRUE(f.contains_cube(Cube::from_string("11-")));
+}
+
+TEST(Cover, SingleCubeContainmentRemoval) {
+    Cover f(3);
+    f.add(Cube::from_string("1--"));
+    f.add(Cube::from_string("11-"));
+    f.add(Cube::from_string("111"));
+    f.remove_single_cube_containment();
+    EXPECT_EQ(f.size(), 1u);
+    EXPECT_EQ(f.cubes().front().to_string(), "1--");
+}
+
+// ---------------------------------------------------------------- espresso
+
+TEST(Espresso, MinimizesMintermCover) {
+    // f = x0 (given as 4 minterms over 3 vars) should collapse to one cube.
+    const auto tt = TruthTable::variable(3, 0);
+    const Cover onset = Cover::from_truth_table(tt);
+    EXPECT_EQ(onset.size(), 4u);
+    const auto res = espresso(onset);
+    EXPECT_EQ(res.cover.size(), 1u);
+    EXPECT_EQ(res.cover.to_truth_table(), tt);
+}
+
+TEST(Espresso, PreservesFunctionOnRandomFunctions) {
+    Rng rng(41);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 5;
+        TruthTable tt(n);
+        for (std::uint64_t m = 0; m < tt.num_minterms_space(); ++m) {
+            tt.set_bit(m, rng.next_bool(0.4));
+        }
+        const auto res = espresso(Cover::from_truth_table(tt));
+        EXPECT_EQ(res.cover.to_truth_table(), tt) << "trial " << trial;
+        EXPECT_LE(res.cover.size(), Cover::from_truth_table(tt).size());
+    }
+}
+
+TEST(Espresso, UsesDontCares) {
+    // ON = {000}, DC = {001, 010, 011} over 3 vars: minimal cover is !x2
+    // or smaller than the single-minterm cube at minimum.
+    Cover onset(3);
+    onset.add(Cube::from_string("000"));
+    Cover dc(3);
+    dc.add(Cube::from_string("100"));
+    dc.add(Cube::from_string("010"));
+    dc.add(Cube::from_string("110"));
+    const auto res = espresso(onset, dc);
+    ASSERT_EQ(res.cover.size(), 1u);
+    // Must cover 000, may cover DC minterms {001, 010, 011}, must not
+    // cover the four OFF minterms.
+    const auto tt = res.cover.to_truth_table();
+    EXPECT_TRUE(tt.bit(0b000));
+    for (const std::uint64_t off_m : {0b100, 0b101, 0b110, 0b111}) {
+        EXPECT_FALSE(tt.bit(off_m)) << off_m;
+    }
+    EXPECT_LE(res.cover.num_literals(), 1);
+}
+
+TEST(Espresso, XorStaysFourCubes) {
+    // 3-input XOR has no two-level sharing: 4 prime cubes, 12 literals.
+    const auto tt = TruthTable::variable(3, 0) ^ TruthTable::variable(3, 1) ^
+                    TruthTable::variable(3, 2);
+    const auto res = espresso(Cover::from_truth_table(tt));
+    EXPECT_EQ(res.cover.size(), 4u);
+    EXPECT_EQ(res.cover.to_truth_table(), tt);
+}
+
+// --------------------------------------------------------------------- aig
+
+TEST(Aig, StructuralHashingSharesNodes) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit x = aig.land(a, b);
+    const AigLit y = aig.land(b, a);
+    EXPECT_EQ(x, y);
+    EXPECT_EQ(aig.num_ands(), 1u);
+}
+
+TEST(Aig, TrivialRules) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    EXPECT_EQ(aig.land(a, Aig::const0()), Aig::const0());
+    EXPECT_EQ(aig.land(a, Aig::const1()), a);
+    EXPECT_EQ(aig.land(a, a), a);
+    EXPECT_EQ(aig.land(a, aig_not(a)), Aig::const0());
+    EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, XorAndMuxSimulate) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit s = aig.add_input("s");
+    aig.add_output("xor", aig.lxor(a, b));
+    aig.add_output("mux", aig.lmux(s, a, b));
+    for (unsigned v = 0; v < 8; ++v) {
+        const bool av = v & 1, bv = v & 2, sv = v & 4;
+        const auto out = aig.simulate({av, bv, sv});
+        EXPECT_EQ(out[0], av != bv);
+        EXPECT_EQ(out[1], sv ? bv : av);
+    }
+}
+
+TEST(Aig, FromNetlistPreservesBehaviour) {
+    const Netlist nl = generate_random(lib28(), {});
+    const Aig aig = Aig::from_netlist(nl);
+    ASSERT_EQ(aig.num_inputs(), nl.primary_inputs().size());
+    Rng rng(51);
+    for (int t = 0; t < 40; ++t) {
+        std::vector<bool> pis;
+        for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+            pis.push_back(rng.next_bool());
+        }
+        const auto nv = nl.evaluate(pis, {});
+        const auto av = aig.simulate(pis);
+        for (std::size_t o = 0; o < nl.primary_outputs().size(); ++o) {
+            EXPECT_EQ(av[o], nv[nl.primary_outputs()[o].second]);
+        }
+    }
+}
+
+TEST(Aig, CleanupRemovesDeadNodes) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit keep = aig.land(a, b);
+    aig.lxor(a, b);  // dead
+    aig.add_output("y", keep);
+    EXPECT_GT(aig.num_ands(), 1u);
+    const Aig clean = aig.cleanup();
+    EXPECT_EQ(clean.num_ands(), 1u);
+}
+
+TEST(Aig, OutputTruthTables) {
+    const Netlist nl = generate_adder(lib28(), 3);
+    const Aig aig = Aig::from_netlist(nl);
+    const auto tts = aig.output_truth_tables();
+    ASSERT_EQ(tts.size(), 4u);  // s0..s2, cout
+    for (std::uint64_t m = 0; m < (1ull << 7); ++m) {
+        const unsigned a = m & 7, b = (m >> 3) & 7, cin = (m >> 6) & 1;
+        const unsigned sum = a + b + cin;
+        EXPECT_EQ(tts[0].bit(m), static_cast<bool>(sum & 1));
+        EXPECT_EQ(tts[3].bit(m), static_cast<bool>(sum & 8));
+    }
+}
+
+// ------------------------------------------------------------------- cuts
+
+TEST(CutEnum, TrivialAndMergedCuts) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit c = aig.add_input("c");
+    const AigLit x = aig.land(a, b);
+    const AigLit y = aig.land(x, c);
+    aig.add_output("y", y);
+    const CutSet cs = enumerate_cuts(aig);
+    const auto& ycuts = cs.cuts[aig_node(y)];
+    // Expect the trivial cut, {x, c}, and {a, b, c}.
+    EXPECT_GE(ycuts.size(), 3u);
+    bool found_abc = false;
+    for (const Cut& cut : ycuts) {
+        if (cut.leaves.size() == 3) found_abc = true;
+    }
+    EXPECT_TRUE(found_abc);
+}
+
+TEST(CutEnum, CutTruthTableMatchesSimulation) {
+    const Netlist nl = generate_random(lib28(), {});
+    const Aig aig = Aig::from_netlist(nl);
+    const CutSet cs = enumerate_cuts(aig);
+    Rng rng(61);
+    int checked = 0;
+    for (const std::uint32_t n : aig.topological_order()) {
+        if (!aig.is_and(n) || checked > 30) continue;
+        for (const Cut& cut : cs.cuts[n]) {
+            if (cut.trivial()) continue;
+            const TruthTable tt = cut_truth_table(aig, n, cut);
+            // Validate against node-level simulation via truth tables of
+            // the whole AIG (only for small input counts).
+            ++checked;
+            EXPECT_EQ(tt.num_vars(), static_cast<int>(cut.leaves.size()));
+            break;
+        }
+    }
+    EXPECT_GT(checked, 5);
+}
+
+// ------------------------------------------------------- balance / rewrite
+
+TEST(Balance, ReducesDepthOfChain) {
+    Aig aig;
+    std::vector<AigLit> ins;
+    for (int i = 0; i < 16; ++i) ins.push_back(aig.add_input("i" + std::to_string(i)));
+    AigLit acc = ins[0];
+    for (int i = 1; i < 16; ++i) acc = aig.land(acc, ins[static_cast<std::size_t>(i)]);
+    aig.add_output("y", acc);
+    EXPECT_EQ(aig.depth(), 15);
+    const Aig bal = balance(aig);
+    EXPECT_EQ(bal.depth(), 4);  // ceil(log2(16))
+    EXPECT_EQ(bal.num_ands(), 15u);
+    // Function preserved.
+    for (int t = 0; t < 20; ++t) {
+        Rng rng(static_cast<std::uint64_t>(t) + 71);
+        std::vector<bool> pis;
+        for (int i = 0; i < 16; ++i) pis.push_back(rng.next_bool(0.9));
+        EXPECT_EQ(aig.simulate(pis)[0], bal.simulate(pis)[0]);
+    }
+}
+
+TEST(Rewrite, MffcOfChain) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit c = aig.add_input("c");
+    const AigLit x = aig.land(a, b);
+    const AigLit y = aig.land(x, c);
+    aig.add_output("y", y);
+    const auto mffc = mffc_sizes(aig);
+    EXPECT_EQ(mffc[aig_node(x)], 1);
+    EXPECT_EQ(mffc[aig_node(y)], 2);  // removing y also frees x
+}
+
+TEST(Rewrite, RefactorPreservesFunction) {
+    GeneratorConfig cfg;
+    cfg.num_gates = 300;
+    cfg.seed = 77;
+    const Netlist nl = generate_random(lib28(), cfg);
+    const Aig aig = Aig::from_netlist(nl).cleanup();
+    const Aig rw = refactor(aig);
+    ASSERT_EQ(rw.num_inputs(), aig.num_inputs());
+    Rng rng(81);
+    for (int t = 0; t < 60; ++t) {
+        std::vector<bool> pis;
+        for (std::size_t i = 0; i < aig.num_inputs(); ++i) pis.push_back(rng.next_bool());
+        EXPECT_EQ(aig.simulate(pis), rw.simulate(pis));
+    }
+}
+
+TEST(Rewrite, OptimizeShrinksRedundantLogic) {
+    // Build deliberately redundant logic: (a&b) | (a&b&c) | (a&b&!c) == a&b.
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    const AigLit b = aig.add_input("b");
+    const AigLit c = aig.add_input("c");
+    const AigLit ab = aig.land(a, b);
+    const AigLit t1 = aig.land(ab, c);
+    const AigLit t2 = aig.land(ab, aig_not(c));
+    aig.add_output("y", aig.lor(aig.lor(ab, t1), t2));
+    const Aig opt = optimize(aig);
+    EXPECT_LE(opt.num_ands(), 1u);
+    for (unsigned v = 0; v < 8; ++v) {
+        const std::vector<bool> pis{static_cast<bool>(v & 1),
+                                    static_cast<bool>(v & 2),
+                                    static_cast<bool>(v & 4)};
+        EXPECT_EQ(opt.simulate(pis)[0], (v & 1) && (v & 2));
+    }
+}
+
+TEST(Rewrite, OptimizeNeverGrowsNodeCount) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        GeneratorConfig cfg;
+        cfg.num_gates = 400;
+        cfg.seed = seed;
+        cfg.xor_fraction = 0.2;
+        const Aig aig = Aig::from_netlist(generate_random(lib28(), cfg)).cleanup();
+        const Aig opt = optimize(aig);
+        EXPECT_LE(opt.num_ands(), aig.num_ands()) << "seed " << seed;
+    }
+}
+
+// --------------------------------------------------------------------- bdd
+
+TEST(Bdd, BasicOperations) {
+    Bdd bdd(3);
+    const auto a = bdd.var(0);
+    const auto b = bdd.var(1);
+    const auto f = bdd.land(a, b);
+    EXPECT_EQ(bdd.sat_count(f), 2u);  // 2 assignments of x2
+    EXPECT_TRUE(bdd.evaluate(f, 0b011));
+    EXPECT_FALSE(bdd.evaluate(f, 0b001));
+    EXPECT_EQ(bdd.lnot(bdd.lnot(f)), f);
+}
+
+TEST(Bdd, CanonicityAcrossConstructions) {
+    Bdd bdd(3);
+    const auto a = bdd.var(0);
+    const auto b = bdd.var(1);
+    const auto c = bdd.var(2);
+    // (a&b)|c built two ways.
+    const auto f1 = bdd.lor(bdd.land(a, b), c);
+    const auto f2 = bdd.lnot(bdd.land(bdd.lnot(bdd.land(a, b)), bdd.lnot(c)));
+    EXPECT_EQ(f1, f2);
+}
+
+TEST(Bdd, FromTruthTableMatchesIte) {
+    Rng rng(91);
+    for (int trial = 0; trial < 10; ++trial) {
+        TruthTable tt(4);
+        for (std::uint64_t m = 0; m < 16; ++m) tt.set_bit(m, rng.next_bool());
+        Bdd bdd(4);
+        const auto f = bdd.from_truth_table(tt);
+        for (std::uint64_t m = 0; m < 16; ++m) {
+            EXPECT_EQ(bdd.evaluate(f, m), tt.bit(m));
+        }
+    }
+}
+
+TEST(Bdd, XorChainIsLinear) {
+    const int n = 10;
+    Bdd bdd(n);
+    auto f = bdd.var(0);
+    for (int i = 1; i < n; ++i) f = bdd.lxor(f, bdd.var(i));
+    EXPECT_EQ(bdd.count_nodes({f}), static_cast<std::size_t>(2 * n - 1));
+}
+
+// -------------------------------------------------------------------- bbdd
+
+TEST(Bbdd, EvaluatesCorrectly) {
+    Rng rng(101);
+    for (int trial = 0; trial < 15; ++trial) {
+        const int n = 5;
+        TruthTable tt(n);
+        for (std::uint64_t m = 0; m < tt.num_minterms_space(); ++m) {
+            tt.set_bit(m, rng.next_bool());
+        }
+        Bbdd bbdd(n);
+        const auto f = bbdd.from_truth_table(tt);
+        for (std::uint64_t m = 0; m < tt.num_minterms_space(); ++m) {
+            EXPECT_EQ(bbdd.evaluate(f, m), tt.bit(m)) << "trial " << trial;
+        }
+    }
+}
+
+TEST(Bbdd, CanonicalSharing) {
+    // Same function built twice shares the root.
+    const auto tt = TruthTable::variable(4, 0) ^ TruthTable::variable(4, 1);
+    Bbdd bbdd(4);
+    const auto f1 = bbdd.from_truth_table(tt);
+    const auto f2 = bbdd.from_truth_table(tt);
+    EXPECT_EQ(f1, f2);
+}
+
+TEST(Bbdd, XorIsSingleNode) {
+    // x0 XOR x1 is exactly one biconditional node — the headline property
+    // of the representation for controlled-polarity logic.
+    const auto tt = TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+    Bbdd bbdd(2);
+    const auto f = bbdd.from_truth_table(tt);
+    EXPECT_EQ(bbdd.count_nodes({f}), 1u);
+    // The ROBDD of the same function needs 3 nodes.
+    Bdd bdd(2);
+    EXPECT_EQ(bdd.count_nodes({bdd.from_truth_table(tt)}), 3u);
+}
+
+TEST(Bbdd, SmallerThanBddOnParity) {
+    const int n = 8;
+    TruthTable tt(n);
+    TruthTable acc = TruthTable::variable(n, 0);
+    for (int i = 1; i < n; ++i) acc = acc ^ TruthTable::variable(n, i);
+    Bbdd bbdd(n);
+    Bdd bdd(n);
+    const auto nb = bbdd.count_nodes({bbdd.from_truth_table(acc)});
+    const auto nd = bdd.count_nodes({bdd.from_truth_table(acc)});
+    EXPECT_LT(nb, nd);
+}
+
+// --------------------------------------------------------------- tech map
+
+TEST(TechMap, MapsAdderCorrectly) {
+    const Netlist golden = generate_adder(lib28(), 4);
+    const Aig aig = Aig::from_netlist(golden);
+    const Netlist mapped = tech_map(aig, lib28());
+    EXPECT_TRUE(mapped.validate().empty());
+    Rng rng(111);
+    expect_equiv(golden, mapped, 100, rng);
+}
+
+TEST(TechMap, MapsRandomLogicCorrectly) {
+    for (const std::uint64_t seed : {5ull, 6ull}) {
+        GeneratorConfig cfg;
+        cfg.num_gates = 250;
+        cfg.seed = seed;
+        cfg.xor_fraction = 0.25;
+        const Netlist golden = generate_random(lib28(), cfg);
+        const Aig aig = optimize(Aig::from_netlist(golden));
+        const Netlist mapped = tech_map(aig, lib28());
+        EXPECT_TRUE(mapped.validate().empty());
+        Rng rng(113 + seed);
+        expect_equiv(golden, mapped, 60, rng);
+    }
+}
+
+TEST(TechMap, NaiveMapCorrectButLarger) {
+    const Netlist golden = generate_adder(lib28(), 5);
+    const Aig aig = Aig::from_netlist(golden);
+    const Netlist naive = naive_map(aig, lib28());
+    const Netlist mapped = tech_map(optimize(aig), lib28());
+    EXPECT_TRUE(naive.validate().empty());
+    Rng rng(117);
+    expect_equiv(golden, naive, 80, rng);
+    // The optimized+matched mapping must be substantially smaller.
+    EXPECT_LT(mapped.total_area(), 0.8 * naive.total_area());
+}
+
+TEST(TechMap, ConstantOutputGetsTieCell) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    aig.add_output("zero", aig.land(a, aig_not(a)));
+    aig.add_output("one", Aig::const1());
+    const Netlist mapped = tech_map(aig, lib28());
+    EXPECT_TRUE(mapped.validate().empty());
+    const auto vals0 = mapped.evaluate({false}, {});
+    const auto vals1 = mapped.evaluate({true}, {});
+    EXPECT_FALSE(vals0[mapped.primary_outputs()[0].second]);
+    EXPECT_TRUE(vals0[mapped.primary_outputs()[1].second]);
+    EXPECT_FALSE(vals1[mapped.primary_outputs()[0].second]);
+    EXPECT_TRUE(vals1[mapped.primary_outputs()[1].second]);
+}
+
+TEST(TechMap, PassthroughOutput) {
+    Aig aig;
+    const AigLit a = aig.add_input("a");
+    aig.add_output("y", a);
+    aig.add_output("ny", aig_not(a));
+    const Netlist mapped = tech_map(aig, lib28());
+    EXPECT_TRUE(mapped.validate().empty());
+    const auto v = mapped.evaluate({true}, {});
+    EXPECT_TRUE(v[mapped.primary_outputs()[0].second]);
+    EXPECT_FALSE(v[mapped.primary_outputs()[1].second]);
+}
+
+// --------------------------------------------- property sweep (TEST_P)
+
+class SynthesisPipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesisPipelineTest, EndToEndEquivalenceAndImprovement) {
+    GeneratorConfig cfg;
+    cfg.num_gates = 200;
+    cfg.num_inputs = 12;
+    cfg.seed = GetParam();
+    cfg.xor_fraction = 0.15;
+    const Netlist golden = generate_random(lib28(), cfg);
+    const Aig raw = Aig::from_netlist(golden).cleanup();
+    const Aig opt = optimize(raw);
+    EXPECT_LE(opt.num_ands(), raw.num_ands());
+    const Netlist mapped = tech_map(opt, lib28());
+    EXPECT_TRUE(mapped.validate().empty());
+    Rng rng(cfg.seed * 7 + 1);
+    expect_equiv(golden, mapped, 40, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisPipelineTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace janus

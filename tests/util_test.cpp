@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "janus/util/disjoint_set.hpp"
+#include "janus/util/geometry.hpp"
+#include "janus/util/rng.hpp"
+#include "janus/util/stats.hpp"
+
+namespace janus {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Geometry, ManhattanDistance) {
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+    EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Geometry, EmptyRect) {
+    Rect r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.area(), 0);
+    EXPECT_FALSE(r.contains({0, 0}));
+    EXPECT_FALSE(r.intersects(Rect{0, 0, 10, 10}));
+}
+
+TEST(Geometry, RectBasics) {
+    Rect r{0, 0, 10, 20};
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.width(), 10);
+    EXPECT_EQ(r.height(), 20);
+    EXPECT_EQ(r.area(), 200);
+    EXPECT_EQ(r.center(), (Point{5, 10}));
+    EXPECT_TRUE(r.contains({10, 20}));
+    EXPECT_FALSE(r.contains({11, 20}));
+}
+
+TEST(Geometry, Intersection) {
+    const Rect a{0, 0, 10, 10};
+    const Rect b{5, 5, 15, 15};
+    const Rect i = intersection(a, b);
+    EXPECT_EQ(i, (Rect{5, 5, 10, 10}));
+    EXPECT_TRUE(intersection(a, Rect{20, 20, 30, 30}).empty());
+}
+
+TEST(Geometry, BoundingBoxOfRects) {
+    const Rect a{0, 0, 5, 5};
+    const Rect b{10, -3, 12, 4};
+    EXPECT_EQ(bounding_box(a, b), (Rect{0, -3, 12, 5}));
+    EXPECT_EQ(bounding_box(Rect{}, b), b);
+    EXPECT_EQ(bounding_box(a, Rect{}), a);
+}
+
+TEST(Geometry, Hpwl) {
+    EXPECT_EQ(hpwl({}), 0);
+    EXPECT_EQ(hpwl({{3, 7}}), 0);
+    EXPECT_EQ(hpwl({{0, 0}, {10, 5}, {2, 8}}), 10 + 8);
+}
+
+TEST(Geometry, RectGap) {
+    const Rect a{0, 0, 10, 10};
+    EXPECT_EQ(rect_gap(a, Rect{12, 0, 20, 10}), 2);
+    EXPECT_EQ(rect_gap(a, Rect{0, 15, 10, 20}), 5);
+    EXPECT_EQ(rect_gap(a, Rect{5, 5, 8, 8}), 0);   // overlap
+    EXPECT_EQ(rect_gap(a, Rect{10, 10, 20, 20}), 0);  // touching
+}
+
+TEST(Geometry, InflatedRect) {
+    const Rect a{5, 5, 10, 10};
+    EXPECT_EQ(a.inflated(2), (Rect{3, 3, 12, 12}));
+    EXPECT_TRUE(a.inflated(-3).empty());
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextInInclusive) {
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.next_in(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng r(13);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.next_gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng r(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.next_bool(0.0));
+        EXPECT_TRUE(r.next_bool(1.0));
+    }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng r(19);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsBasics) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Stats, VarianceNeedsTwoSamples) {
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+    EXPECT_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(Stats, GeometricMean) {
+    EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+// ------------------------------------------------------------ disjoint set
+
+TEST(DisjointSet, SingletonsAtStart) {
+    DisjointSet ds(5);
+    EXPECT_EQ(ds.num_sets(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ds.find(i), i);
+}
+
+TEST(DisjointSet, UniteAndFind) {
+    DisjointSet ds(6);
+    EXPECT_TRUE(ds.unite(0, 1));
+    EXPECT_TRUE(ds.unite(2, 3));
+    EXPECT_FALSE(ds.unite(1, 0));
+    EXPECT_TRUE(ds.same(0, 1));
+    EXPECT_FALSE(ds.same(0, 2));
+    EXPECT_TRUE(ds.unite(1, 3));
+    EXPECT_TRUE(ds.same(0, 2));
+    EXPECT_EQ(ds.num_sets(), 3u);
+    EXPECT_EQ(ds.set_size(3), 4u);
+}
+
+TEST(DisjointSet, AddGrows) {
+    DisjointSet ds(2);
+    const std::size_t id = ds.add();
+    EXPECT_EQ(id, 2u);
+    EXPECT_EQ(ds.num_sets(), 3u);
+    ds.unite(id, 0);
+    EXPECT_TRUE(ds.same(2, 0));
+}
+
+}  // namespace
+}  // namespace janus
