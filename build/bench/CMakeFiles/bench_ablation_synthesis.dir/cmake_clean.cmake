@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_synthesis.dir/bench_ablation_synthesis.cpp.o"
+  "CMakeFiles/bench_ablation_synthesis.dir/bench_ablation_synthesis.cpp.o.d"
+  "bench_ablation_synthesis"
+  "bench_ablation_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

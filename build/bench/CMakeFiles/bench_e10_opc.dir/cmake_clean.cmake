@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_opc.dir/bench_e10_opc.cpp.o"
+  "CMakeFiles/bench_e10_opc.dir/bench_e10_opc.cpp.o.d"
+  "bench_e10_opc"
+  "bench_e10_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_smart_systems.dir/bench_e11_smart_systems.cpp.o"
+  "CMakeFiles/bench_e11_smart_systems.dir/bench_e11_smart_systems.cpp.o.d"
+  "bench_e11_smart_systems"
+  "bench_e11_smart_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_smart_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_emerging_logic.dir/bench_e12_emerging_logic.cpp.o"
+  "CMakeFiles/bench_e12_emerging_logic.dir/bench_e12_emerging_logic.cpp.o.d"
+  "bench_e12_emerging_logic"
+  "bench_e12_emerging_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_emerging_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

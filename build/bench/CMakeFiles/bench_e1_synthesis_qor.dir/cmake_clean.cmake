@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_synthesis_qor.dir/bench_e1_synthesis_qor.cpp.o"
+  "CMakeFiles/bench_e1_synthesis_qor.dir/bench_e1_synthesis_qor.cpp.o.d"
+  "bench_e1_synthesis_qor"
+  "bench_e1_synthesis_qor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_synthesis_qor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

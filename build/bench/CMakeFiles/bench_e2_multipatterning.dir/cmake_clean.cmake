@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_multipatterning.dir/bench_e2_multipatterning.cpp.o"
+  "CMakeFiles/bench_e2_multipatterning.dir/bench_e2_multipatterning.cpp.o.d"
+  "bench_e2_multipatterning"
+  "bench_e2_multipatterning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_multipatterning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_layer_reduction.dir/bench_e3_layer_reduction.cpp.o"
+  "CMakeFiles/bench_e3_layer_reduction.dir/bench_e3_layer_reduction.cpp.o.d"
+  "bench_e3_layer_reduction"
+  "bench_e3_layer_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_layer_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_power_domains.dir/bench_e4_power_domains.cpp.o"
+  "CMakeFiles/bench_e4_power_domains.dir/bench_e4_power_domains.cpp.o.d"
+  "bench_e4_power_domains"
+  "bench_e4_power_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_power_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

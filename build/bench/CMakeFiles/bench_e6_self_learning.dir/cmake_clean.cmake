@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_self_learning.dir/bench_e6_self_learning.cpp.o"
+  "CMakeFiles/bench_e6_self_learning.dir/bench_e6_self_learning.cpp.o.d"
+  "bench_e6_self_learning"
+  "bench_e6_self_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_self_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

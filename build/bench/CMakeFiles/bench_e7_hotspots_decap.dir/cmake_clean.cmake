@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_hotspots_decap.dir/bench_e7_hotspots_decap.cpp.o"
+  "CMakeFiles/bench_e7_hotspots_decap.dir/bench_e7_hotspots_decap.cpp.o.d"
+  "bench_e7_hotspots_decap"
+  "bench_e7_hotspots_decap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_hotspots_decap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

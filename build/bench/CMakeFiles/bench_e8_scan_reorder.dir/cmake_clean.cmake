@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_scan_reorder.dir/bench_e8_scan_reorder.cpp.o"
+  "CMakeFiles/bench_e8_scan_reorder.dir/bench_e8_scan_reorder.cpp.o.d"
+  "bench_e8_scan_reorder"
+  "bench_e8_scan_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_scan_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

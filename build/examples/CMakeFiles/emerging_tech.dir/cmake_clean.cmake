@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerging_tech.dir/emerging_tech.cpp.o"
+  "CMakeFiles/emerging_tech.dir/emerging_tech.cpp.o.d"
+  "emerging_tech"
+  "emerging_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerging_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_node.dir/iot_node.cpp.o"
+  "CMakeFiles/iot_node.dir/iot_node.cpp.o.d"
+  "iot_node"
+  "iot_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

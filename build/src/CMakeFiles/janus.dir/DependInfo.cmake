@@ -1,0 +1,86 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/dft/atpg.cpp" "src/CMakeFiles/janus.dir/janus/dft/atpg.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/atpg.cpp.o.d"
+  "/root/repo/src/janus/dft/compression.cpp" "src/CMakeFiles/janus.dir/janus/dft/compression.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/compression.cpp.o.d"
+  "/root/repo/src/janus/dft/fault_sim.cpp" "src/CMakeFiles/janus.dir/janus/dft/fault_sim.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/fault_sim.cpp.o.d"
+  "/root/repo/src/janus/dft/scan.cpp" "src/CMakeFiles/janus.dir/janus/dft/scan.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/scan.cpp.o.d"
+  "/root/repo/src/janus/dft/test_cost.cpp" "src/CMakeFiles/janus.dir/janus/dft/test_cost.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/test_cost.cpp.o.d"
+  "/root/repo/src/janus/dft/test_points.cpp" "src/CMakeFiles/janus.dir/janus/dft/test_points.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/test_points.cpp.o.d"
+  "/root/repo/src/janus/flow/flow.cpp" "src/CMakeFiles/janus.dir/janus/flow/flow.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/flow.cpp.o.d"
+  "/root/repo/src/janus/flow/report.cpp" "src/CMakeFiles/janus.dir/janus/flow/report.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/report.cpp.o.d"
+  "/root/repo/src/janus/flow/tuner.cpp" "src/CMakeFiles/janus.dir/janus/flow/tuner.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/tuner.cpp.o.d"
+  "/root/repo/src/janus/litho/aerial_image.cpp" "src/CMakeFiles/janus.dir/janus/litho/aerial_image.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/litho/aerial_image.cpp.o.d"
+  "/root/repo/src/janus/litho/mask.cpp" "src/CMakeFiles/janus.dir/janus/litho/mask.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/litho/mask.cpp.o.d"
+  "/root/repo/src/janus/litho/opc.cpp" "src/CMakeFiles/janus.dir/janus/litho/opc.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/litho/opc.cpp.o.d"
+  "/root/repo/src/janus/litho/process_window.cpp" "src/CMakeFiles/janus.dir/janus/litho/process_window.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/litho/process_window.cpp.o.d"
+  "/root/repo/src/janus/logic/aig.cpp" "src/CMakeFiles/janus.dir/janus/logic/aig.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/aig.cpp.o.d"
+  "/root/repo/src/janus/logic/aig_balance.cpp" "src/CMakeFiles/janus.dir/janus/logic/aig_balance.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/aig_balance.cpp.o.d"
+  "/root/repo/src/janus/logic/aig_rewrite.cpp" "src/CMakeFiles/janus.dir/janus/logic/aig_rewrite.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/aig_rewrite.cpp.o.d"
+  "/root/repo/src/janus/logic/bbdd.cpp" "src/CMakeFiles/janus.dir/janus/logic/bbdd.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/bbdd.cpp.o.d"
+  "/root/repo/src/janus/logic/bdd.cpp" "src/CMakeFiles/janus.dir/janus/logic/bdd.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/bdd.cpp.o.d"
+  "/root/repo/src/janus/logic/cover.cpp" "src/CMakeFiles/janus.dir/janus/logic/cover.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/cover.cpp.o.d"
+  "/root/repo/src/janus/logic/cube.cpp" "src/CMakeFiles/janus.dir/janus/logic/cube.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/cube.cpp.o.d"
+  "/root/repo/src/janus/logic/cut_enum.cpp" "src/CMakeFiles/janus.dir/janus/logic/cut_enum.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/cut_enum.cpp.o.d"
+  "/root/repo/src/janus/logic/equivalence.cpp" "src/CMakeFiles/janus.dir/janus/logic/equivalence.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/equivalence.cpp.o.d"
+  "/root/repo/src/janus/logic/espresso.cpp" "src/CMakeFiles/janus.dir/janus/logic/espresso.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/espresso.cpp.o.d"
+  "/root/repo/src/janus/logic/exact_cover.cpp" "src/CMakeFiles/janus.dir/janus/logic/exact_cover.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/exact_cover.cpp.o.d"
+  "/root/repo/src/janus/logic/retime.cpp" "src/CMakeFiles/janus.dir/janus/logic/retime.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/retime.cpp.o.d"
+  "/root/repo/src/janus/logic/sat.cpp" "src/CMakeFiles/janus.dir/janus/logic/sat.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/sat.cpp.o.d"
+  "/root/repo/src/janus/logic/tech_map.cpp" "src/CMakeFiles/janus.dir/janus/logic/tech_map.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/tech_map.cpp.o.d"
+  "/root/repo/src/janus/logic/truth_table.cpp" "src/CMakeFiles/janus.dir/janus/logic/truth_table.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/logic/truth_table.cpp.o.d"
+  "/root/repo/src/janus/netlist/cell_library.cpp" "src/CMakeFiles/janus.dir/janus/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/janus/netlist/generator.cpp" "src/CMakeFiles/janus.dir/janus/netlist/generator.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/generator.cpp.o.d"
+  "/root/repo/src/janus/netlist/io.cpp" "src/CMakeFiles/janus.dir/janus/netlist/io.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/io.cpp.o.d"
+  "/root/repo/src/janus/netlist/netlist.cpp" "src/CMakeFiles/janus.dir/janus/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/netlist.cpp.o.d"
+  "/root/repo/src/janus/netlist/technology.cpp" "src/CMakeFiles/janus.dir/janus/netlist/technology.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/technology.cpp.o.d"
+  "/root/repo/src/janus/netlist/verilog.cpp" "src/CMakeFiles/janus.dir/janus/netlist/verilog.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/netlist/verilog.cpp.o.d"
+  "/root/repo/src/janus/place/analytic_place.cpp" "src/CMakeFiles/janus.dir/janus/place/analytic_place.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/place/analytic_place.cpp.o.d"
+  "/root/repo/src/janus/place/congestion.cpp" "src/CMakeFiles/janus.dir/janus/place/congestion.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/place/congestion.cpp.o.d"
+  "/root/repo/src/janus/place/floorplan.cpp" "src/CMakeFiles/janus.dir/janus/place/floorplan.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/place/floorplan.cpp.o.d"
+  "/root/repo/src/janus/place/legalize.cpp" "src/CMakeFiles/janus.dir/janus/place/legalize.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/place/legalize.cpp.o.d"
+  "/root/repo/src/janus/place/sa_place.cpp" "src/CMakeFiles/janus.dir/janus/place/sa_place.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/place/sa_place.cpp.o.d"
+  "/root/repo/src/janus/power/activity.cpp" "src/CMakeFiles/janus.dir/janus/power/activity.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/activity.cpp.o.d"
+  "/root/repo/src/janus/power/clock_gating.cpp" "src/CMakeFiles/janus.dir/janus/power/clock_gating.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/clock_gating.cpp.o.d"
+  "/root/repo/src/janus/power/decap.cpp" "src/CMakeFiles/janus.dir/janus/power/decap.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/decap.cpp.o.d"
+  "/root/repo/src/janus/power/power_grid.cpp" "src/CMakeFiles/janus.dir/janus/power/power_grid.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/power_grid.cpp.o.d"
+  "/root/repo/src/janus/power/power_intent.cpp" "src/CMakeFiles/janus.dir/janus/power/power_intent.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/power_intent.cpp.o.d"
+  "/root/repo/src/janus/power/power_model.cpp" "src/CMakeFiles/janus.dir/janus/power/power_model.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/power_model.cpp.o.d"
+  "/root/repo/src/janus/power/upf.cpp" "src/CMakeFiles/janus.dir/janus/power/upf.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/power/upf.cpp.o.d"
+  "/root/repo/src/janus/route/clock_tree.cpp" "src/CMakeFiles/janus.dir/janus/route/clock_tree.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/clock_tree.cpp.o.d"
+  "/root/repo/src/janus/route/global_router.cpp" "src/CMakeFiles/janus.dir/janus/route/global_router.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/global_router.cpp.o.d"
+  "/root/repo/src/janus/route/grid_graph.cpp" "src/CMakeFiles/janus.dir/janus/route/grid_graph.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/grid_graph.cpp.o.d"
+  "/root/repo/src/janus/route/layer_assign.cpp" "src/CMakeFiles/janus.dir/janus/route/layer_assign.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/layer_assign.cpp.o.d"
+  "/root/repo/src/janus/route/line_search.cpp" "src/CMakeFiles/janus.dir/janus/route/line_search.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/line_search.cpp.o.d"
+  "/root/repo/src/janus/route/maze_router.cpp" "src/CMakeFiles/janus.dir/janus/route/maze_router.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/maze_router.cpp.o.d"
+  "/root/repo/src/janus/route/multipattern.cpp" "src/CMakeFiles/janus.dir/janus/route/multipattern.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/route/multipattern.cpp.o.d"
+  "/root/repo/src/janus/sip/components.cpp" "src/CMakeFiles/janus.dir/janus/sip/components.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/sip/components.cpp.o.d"
+  "/root/repo/src/janus/sip/dse.cpp" "src/CMakeFiles/janus.dir/janus/sip/dse.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/sip/dse.cpp.o.d"
+  "/root/repo/src/janus/sip/methodology.cpp" "src/CMakeFiles/janus.dir/janus/sip/methodology.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/sip/methodology.cpp.o.d"
+  "/root/repo/src/janus/sip/node_economics.cpp" "src/CMakeFiles/janus.dir/janus/sip/node_economics.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/sip/node_economics.cpp.o.d"
+  "/root/repo/src/janus/sip/package_model.cpp" "src/CMakeFiles/janus.dir/janus/sip/package_model.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/sip/package_model.cpp.o.d"
+  "/root/repo/src/janus/timing/corners.cpp" "src/CMakeFiles/janus.dir/janus/timing/corners.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/timing/corners.cpp.o.d"
+  "/root/repo/src/janus/timing/delay_model.cpp" "src/CMakeFiles/janus.dir/janus/timing/delay_model.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/timing/delay_model.cpp.o.d"
+  "/root/repo/src/janus/timing/sizing.cpp" "src/CMakeFiles/janus.dir/janus/timing/sizing.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/timing/sizing.cpp.o.d"
+  "/root/repo/src/janus/timing/ssta.cpp" "src/CMakeFiles/janus.dir/janus/timing/ssta.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/timing/ssta.cpp.o.d"
+  "/root/repo/src/janus/timing/sta.cpp" "src/CMakeFiles/janus.dir/janus/timing/sta.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/timing/sta.cpp.o.d"
+  "/root/repo/src/janus/util/disjoint_set.cpp" "src/CMakeFiles/janus.dir/janus/util/disjoint_set.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/disjoint_set.cpp.o.d"
+  "/root/repo/src/janus/util/geometry.cpp" "src/CMakeFiles/janus.dir/janus/util/geometry.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/geometry.cpp.o.d"
+  "/root/repo/src/janus/util/log.cpp" "src/CMakeFiles/janus.dir/janus/util/log.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/log.cpp.o.d"
+  "/root/repo/src/janus/util/rng.cpp" "src/CMakeFiles/janus.dir/janus/util/rng.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/rng.cpp.o.d"
+  "/root/repo/src/janus/util/stats.cpp" "src/CMakeFiles/janus.dir/janus/util/stats.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cts_robustness_test.cpp" "tests/CMakeFiles/janus_tests.dir/cts_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/cts_robustness_test.cpp.o.d"
+  "/root/repo/tests/dft_test.cpp" "tests/CMakeFiles/janus_tests.dir/dft_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/dft_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/janus_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/formal_stat_test.cpp" "tests/CMakeFiles/janus_tests.dir/formal_stat_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/formal_stat_test.cpp.o.d"
+  "/root/repo/tests/intent_corners_test.cpp" "tests/CMakeFiles/janus_tests.dir/intent_corners_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/intent_corners_test.cpp.o.d"
+  "/root/repo/tests/io_ext_test.cpp" "tests/CMakeFiles/janus_tests.dir/io_ext_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/io_ext_test.cpp.o.d"
+  "/root/repo/tests/litho_test.cpp" "tests/CMakeFiles/janus_tests.dir/litho_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/litho_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/janus_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/janus_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/place_route_test.cpp" "tests/CMakeFiles/janus_tests.dir/place_route_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/place_route_test.cpp.o.d"
+  "/root/repo/tests/sip_flow_test.cpp" "tests/CMakeFiles/janus_tests.dir/sip_flow_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/sip_flow_test.cpp.o.d"
+  "/root/repo/tests/timing_power_test.cpp" "tests/CMakeFiles/janus_tests.dir/timing_power_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/timing_power_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/janus_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/janus_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/janus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_tests.dir/cts_robustness_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/cts_robustness_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/dft_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/dft_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/formal_stat_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/formal_stat_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/intent_corners_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/intent_corners_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/io_ext_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/io_ext_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/litho_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/litho_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/logic_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/logic_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/netlist_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/netlist_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/place_route_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/place_route_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/sip_flow_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/sip_flow_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/timing_power_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/timing_power_test.cpp.o.d"
+  "CMakeFiles/janus_tests.dir/util_test.cpp.o"
+  "CMakeFiles/janus_tests.dir/util_test.cpp.o.d"
+  "janus_tests"
+  "janus_tests.pdb"
+  "janus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
