@@ -211,12 +211,15 @@ examples/CMakeFiles/asic_flow.dir/asic_flow.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/janus/flow/report.hpp /root/repo/src/janus/flow/tuner.hpp \
+ /root/repo/src/janus/flow/flow_engine.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/janus/dft/scan.hpp \
+ /root/repo/src/janus/flow/report.hpp \
+ /root/repo/src/janus/place/analytic_place.hpp \
+ /root/repo/src/janus/flow/tuner.hpp \
  /root/repo/src/janus/netlist/generator.hpp \
  /root/repo/src/janus/util/rng.hpp

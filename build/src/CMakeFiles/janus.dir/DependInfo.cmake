@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/janus/dft/test_cost.cpp" "src/CMakeFiles/janus.dir/janus/dft/test_cost.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/test_cost.cpp.o.d"
   "/root/repo/src/janus/dft/test_points.cpp" "src/CMakeFiles/janus.dir/janus/dft/test_points.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/dft/test_points.cpp.o.d"
   "/root/repo/src/janus/flow/flow.cpp" "src/CMakeFiles/janus.dir/janus/flow/flow.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/flow.cpp.o.d"
+  "/root/repo/src/janus/flow/flow_engine.cpp" "src/CMakeFiles/janus.dir/janus/flow/flow_engine.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/flow_engine.cpp.o.d"
   "/root/repo/src/janus/flow/report.cpp" "src/CMakeFiles/janus.dir/janus/flow/report.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/report.cpp.o.d"
   "/root/repo/src/janus/flow/tuner.cpp" "src/CMakeFiles/janus.dir/janus/flow/tuner.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/flow/tuner.cpp.o.d"
   "/root/repo/src/janus/litho/aerial_image.cpp" "src/CMakeFiles/janus.dir/janus/litho/aerial_image.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/litho/aerial_image.cpp.o.d"
@@ -76,6 +77,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/janus/util/log.cpp" "src/CMakeFiles/janus.dir/janus/util/log.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/log.cpp.o.d"
   "/root/repo/src/janus/util/rng.cpp" "src/CMakeFiles/janus.dir/janus/util/rng.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/rng.cpp.o.d"
   "/root/repo/src/janus/util/stats.cpp" "src/CMakeFiles/janus.dir/janus/util/stats.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/stats.cpp.o.d"
+  "/root/repo/src/janus/util/thread_pool.cpp" "src/CMakeFiles/janus.dir/janus/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/janus.dir/janus/util/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "janus/flow/flow.hpp"
+#include "janus/flow/flow_engine.hpp"
 #include "janus/flow/report.hpp"
 #include "janus/flow/tuner.hpp"
 #include "janus/netlist/generator.hpp"
@@ -28,16 +29,32 @@ int main() {
         const Netlist design = generate_mesh(lib, 2500, 7, 4);
 
         FlowParams params;
-        params.insert_scan = true;
+        params.stages = FlowStageMask::Scan | FlowStageMask::ClockTree;
         params.scan_chains = 4;
-        Netlist implemented(lib, "out");
-        FlowResult r = run_flow(design, node, params, &implemented);
+        FlowResult r = run_flow(design, node, params);
         r.design = std::string(node_name) + "/" + design.name();
         std::printf("[%s] scan chains stitched: %.0f um of scan wiring\n",
                     node_name, r.scan_wirelength_um);
         results.push_back(std::move(r));
     }
     std::printf("\n%s\n", format_flow_table(results).c_str());
+
+    // Staged engine: run to placement, inspect, then resume — the API the
+    // monolithic run_flow() wraps. Each stage lands in the trace with wall
+    // time and QoR deltas.
+    {
+        const TechnologyNode node = *find_node("28nm");
+        const auto lib =
+            std::make_shared<const CellLibrary>(make_default_library(node));
+        FlowEngine engine;
+        FlowContext ctx(generate_mesh(lib, 1500, 3, 2), node, FlowParams{});
+        const FlowResult at_place = engine.run_to(ctx, "legalize");
+        std::printf("after legalize: HPWL %.0f um (%s), routing pending\n",
+                    at_place.hpwl_um, at_place.legal ? "legal" : "ILLEGAL");
+        engine.run(ctx);  // resume through route/cts/sta/power
+        std::printf("stage trace: %s\n\n",
+                    stage_trace_json(ctx.trace).c_str());
+    }
 
     // Self-learning: let the tuner pick flow parameters over repeated runs
     // (panel E6 — "a built-in self-learning engine").

@@ -1,23 +1,35 @@
 #include "janus/flow/flow.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
+#include <sstream>
 
-#include "janus/dft/scan.hpp"
-#include "janus/logic/aig.hpp"
-#include "janus/logic/aig_rewrite.hpp"
-#include "janus/logic/tech_map.hpp"
-#include "janus/place/analytic_place.hpp"
-#include "janus/place/legalize.hpp"
-#include "janus/place/sa_place.hpp"
-#include "janus/power/power_model.hpp"
-#include "janus/route/clock_tree.hpp"
-#include "janus/route/global_router.hpp"
-#include "janus/timing/sizing.hpp"
-#include "janus/timing/sta.hpp"
+#include "janus/flow/flow_engine.hpp"
 
 namespace janus {
+
+std::string FlowParams::check() const {
+    std::ostringstream err;
+    if (utilization <= 0.0 || utilization > 1.0) {
+        err << "utilization must be in (0, 1], got " << utilization;
+    } else if (optimize_rounds < 0) {
+        err << "optimize_rounds must be >= 0, got " << optimize_rounds;
+    } else if (placer_iterations <= 0) {
+        err << "placer_iterations must be > 0, got " << placer_iterations;
+    } else if (sa_moves_per_cell < 0) {
+        err << "sa_moves_per_cell must be >= 0 (0 disables), got "
+            << sa_moves_per_cell;
+    } else if (router_iterations <= 0) {
+        err << "router_iterations must be > 0, got " << router_iterations;
+    } else if (routing_layers <= 0) {
+        err << "routing_layers must be > 0, got " << routing_layers;
+    } else if (scan_chains <= 0 && enabled(FlowStageMask::Scan)) {
+        err << "scan_chains must be > 0 when scan is enabled, got "
+            << scan_chains;
+    } else if ((static_cast<std::uint32_t>(stages) &
+                ~static_cast<std::uint32_t>(FlowStageMask::All)) != 0) {
+        err << "stages mask has unknown bits set";
+    }
+    return err.str();
+}
 
 double FlowResult::cost() const {
     // Normalized weighted sum; overflow and illegality are heavily
@@ -32,96 +44,9 @@ double FlowResult::cost() const {
 }
 
 FlowResult run_flow(const Netlist& input, const TechnologyNode& node,
-                    const FlowParams& params, Netlist* out) {
-    const auto t0 = std::chrono::steady_clock::now();
-    FlowResult r;
-    r.design = input.name();
-
-    // --- synthesis: combinational designs go through AIG optimization;
-    // sequential designs are kept structurally (register boundaries are
-    // not re-synthesized in this release).
-    Netlist mapped = input;
-    if (input.sequential_instances().empty()) {
-        Aig aig = Aig::from_netlist(input);
-        aig = optimize(aig, params.optimize_rounds);
-        mapped = tech_map(aig, input.library_ptr());
-    }
-
-    // --- DFT (before placement so scan flops exist in the layout).
-    ScanInsertion scan;
-    if (params.insert_scan && !mapped.sequential_instances().empty()) {
-        scan = insert_scan(mapped, params.scan_chains);
-    }
-
-    // --- placement.
-    const PlacementArea area =
-        make_placement_area(mapped, node, params.utilization);
-    AnalyticPlaceOptions popts;
-    popts.solver_iterations = params.placer_iterations;
-    popts.seed = params.seed;
-    analytic_place(mapped, area, popts);
-    const LegalizeResult lg = legalize(mapped, area);
-    if (params.sa_moves_per_cell > 0) {
-        SaPlaceOptions sopts;
-        sopts.moves_per_cell = params.sa_moves_per_cell;
-        sopts.seed = params.seed;
-        sa_refine(mapped, area, sopts);
-    }
-    r.legal = lg.success && is_legal(mapped, area);
-    r.hpwl_um = total_hpwl_um(mapped, area);
-
-    // --- scan reorder now that placement exists.
-    if (params.insert_scan && !scan.chains.empty()) {
-        const ReorderResult rr = reorder_scan(mapped, scan);
-        r.scan_wirelength_um = rr.after_um;
-    }
-
-    // --- routing. GCell grid and per-layer capacity derive from the die
-    // geometry and metal pitch so congestion is physical, not arbitrary.
-    GlobalRouteOptions ropts;
-    ropts.max_iterations = params.router_iterations;
-    ropts.routing_layers = params.routing_layers;
-    ropts.gcells_x = ropts.gcells_y =
-        std::max(24, static_cast<int>(area.die.width() / 3000));
-    const double gcell_nm =
-        static_cast<double>(area.die.width()) / ropts.gcells_x;
-    ropts.capacity_per_layer = 0.65 * gcell_nm / node.metal_pitch_nm;
-    const GlobalRouteResult gr = route_design(mapped, area, ropts);
-    r.route_wirelength = gr.total_wirelength;
-    r.route_overflow = gr.total_overflow;
-
-    // --- clock tree (skew/wirelength feed the QoR record).
-    if (params.build_clock && !mapped.sequential_instances().empty()) {
-        const ClockTree ct = build_clock_tree(mapped);
-        r.clock_skew_ps = ct.skew_ps();
-        r.clock_wirelength_um = ct.total_wirelength_um;
-    }
-
-    // --- post-route optimization.
-    StaOptions sta_opts;
-    sta_opts.wire = WireModel::for_node(node);
-    if (params.size_timing) {
-        SizingOptions sopts;
-        sopts.sta = sta_opts;
-        r.cells_resized = size_for_timing(mapped, sopts).cells_resized;
-    }
-
-    // --- signoff.
-    const TimingReport tr = run_sta(mapped, sta_opts);
-    r.critical_delay_ps = tr.critical_delay_ps;
-    r.wns_ps = tr.wns_ps;
-    PowerOptions popts2;
-    popts2.wire = sta_opts.wire;
-    const PowerReport pr = estimate_power(mapped, node, popts2);
-    r.total_power_mw = pr.total_mw();
-
-    r.instances = mapped.num_instances();
-    r.area_um2 = mapped.total_area();
-    r.runtime_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-    if (out) *out = std::move(mapped);
-    return r;
+                    const FlowParams& params) {
+    FlowContext ctx(input, node, params);
+    return FlowEngine().run(ctx);
 }
 
 }  // namespace janus

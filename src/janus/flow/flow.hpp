@@ -1,11 +1,13 @@
 #pragma once
 /// \file flow.hpp
-/// The end-to-end JanusEDA implementation flow: logic optimization ->
-/// technology mapping -> placement -> legalization -> (optional) detailed
-/// placement -> global routing -> STA -> power -> (optional) scan DFT.
-/// One call = one "run" of the kind panelist Rossi measures in instances
-/// per day (E5); its knobs are what the self-learning tuner drives (E6).
+/// Parameters and quality-of-results record for the JanusEDA implementation
+/// flow. The flow itself is a staged pipeline (flow_engine.hpp): logic
+/// optimization -> technology mapping -> scan insertion -> placement ->
+/// legalization -> scan reorder -> routing -> CTS -> sizing -> STA -> power.
+/// One run is the unit panelist Rossi measures in instances per day (E5);
+/// its knobs are what the self-learning tuner drives (E6).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -13,6 +15,34 @@
 #include "janus/netlist/technology.hpp"
 
 namespace janus {
+
+/// Optional flow stages, selectable as a bitmask. Replaces the old pile of
+/// FlowParams booleans (insert_scan / size_timing / build_clock) with one
+/// composable knob the tuner and batch configs can sweep.
+enum class FlowStageMask : std::uint32_t {
+    None = 0,
+    Scan = 1u << 0,       ///< scan insertion + post-placement reorder
+    ClockTree = 1u << 1,  ///< clock tree synthesis (sequential designs)
+    Sizing = 1u << 2,     ///< post-route timing-driven gate sizing
+    Default = ClockTree,
+    All = Scan | ClockTree | Sizing,
+};
+
+constexpr FlowStageMask operator|(FlowStageMask a, FlowStageMask b) {
+    return static_cast<FlowStageMask>(static_cast<std::uint32_t>(a) |
+                                      static_cast<std::uint32_t>(b));
+}
+constexpr FlowStageMask operator&(FlowStageMask a, FlowStageMask b) {
+    return static_cast<FlowStageMask>(static_cast<std::uint32_t>(a) &
+                                      static_cast<std::uint32_t>(b));
+}
+constexpr FlowStageMask operator~(FlowStageMask a) {
+    return static_cast<FlowStageMask>(~static_cast<std::uint32_t>(a)) &
+           FlowStageMask::All;
+}
+constexpr bool has_stage(FlowStageMask mask, FlowStageMask bit) {
+    return (mask & bit) != FlowStageMask::None;
+}
 
 /// Tunable flow parameters (the knobs a methodology team sweeps).
 struct FlowParams {
@@ -22,13 +52,17 @@ struct FlowParams {
     int sa_moves_per_cell = 0;     ///< 0 disables detailed placement
     int router_iterations = 8;
     int routing_layers = 6;
-    bool insert_scan = false;
+    FlowStageMask stages = FlowStageMask::Default;
     int scan_chains = 4;
-    /// Post-placement timing-driven gate sizing.
-    bool size_timing = false;
-    /// Synthesize the clock tree (sequential designs only).
-    bool build_clock = true;
     std::uint64_t seed = 1;
+
+    bool enabled(FlowStageMask bit) const { return has_stage(stages, bit); }
+
+    /// Validates the parameter set. Returns an empty string when every knob
+    /// is usable, else a description of the first problem found. The flow
+    /// engine calls this up front and throws std::invalid_argument instead
+    /// of silently misbehaving on nonsense like utilization > 1.
+    std::string check() const;
 };
 
 /// Quality-of-results record of one flow run.
@@ -48,14 +82,20 @@ struct FlowResult {
     int cells_resized = 0;          ///< by timing-driven sizing
     bool legal = false;
     double runtime_ms = 0;
+    /// The implemented (mapped + placed + stitched) netlist, populated when
+    /// the final stage has run. Replaces the old `Netlist* out` parameter;
+    /// shared so FlowResult stays cheap to copy into tuner/bench history.
+    std::shared_ptr<const Netlist> mapped;
     /// Scalar figure of merit (lower is better): used by the tuner.
     double cost() const;
 };
 
 /// Runs the full flow on a combinational or sequential netlist. The input
-/// netlist is consumed (mapped/placed netlist returned via *out when
-/// non-null).
+/// netlist is never modified: it is deep-copied into the flow context, and
+/// the implemented design comes back as FlowResult::mapped. Thin wrapper
+/// over FlowEngine (flow_engine.hpp) kept for single-run callers.
+/// Throws std::invalid_argument when params.check() fails.
 FlowResult run_flow(const Netlist& input, const TechnologyNode& node,
-                    const FlowParams& params = {}, Netlist* out = nullptr);
+                    const FlowParams& params = {});
 
 }  // namespace janus

@@ -1,9 +1,44 @@
 #include "janus/flow/report.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 namespace janus {
+namespace {
+
+/// Minimal JSON string escaping (stage/design names are plain identifiers,
+/// but a custom injected stage may carry anything).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void StageTrace::add(StageTraceEntry entry) {
+    if (!entry.skipped) total_ms += entry.wall_ms;
+    peak_instances = std::max(peak_instances, entry.instances);
+    entries.push_back(std::move(entry));
+}
 
 std::string format_flow_result(const FlowResult& r) {
     std::ostringstream os;
@@ -34,6 +69,38 @@ std::string format_flow_table(const std::vector<FlowResult>& runs) {
            << r.total_power_mw << std::setw(9) << std::setprecision(0)
            << r.runtime_ms << "\n";
     }
+    return os.str();
+}
+
+std::string stage_trace_json(const StageTrace& trace) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << "{\"design\":\"" << json_escape(trace.design) << "\","
+       << "\"total_ms\":" << trace.total_ms << ","
+       << "\"peak_instances\":" << trace.peak_instances << ","
+       << "\"stages\":[";
+    for (std::size_t i = 0; i < trace.entries.size(); ++i) {
+        const StageTraceEntry& e = trace.entries[i];
+        if (i) os << ",";
+        os << "{\"stage\":\"" << json_escape(e.stage) << "\","
+           << "\"wall_ms\":" << e.wall_ms << ","
+           << "\"instances\":" << e.instances << ","
+           << "\"cost_before\":" << e.cost_before << ","
+           << "\"cost_after\":" << e.cost_after << ","
+           << "\"skipped\":" << (e.skipped ? "true" : "false") << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string stage_trace_json(const std::vector<StageTrace>& traces) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (i) os << ",";
+        os << stage_trace_json(traces[i]);
+    }
+    os << "]";
     return os.str();
 }
 

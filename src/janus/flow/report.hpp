@@ -1,7 +1,10 @@
 #pragma once
 /// \file report.hpp
-/// Human-readable QoR reporting for flow runs.
+/// Human-readable QoR reporting for flow runs, plus the per-stage trace
+/// recorder the flow engine fills in (wall time, instance counts, QoR cost
+/// deltas) and its JSON serialization for the bench harness.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -9,10 +12,39 @@
 
 namespace janus {
 
+/// Observation of one pipeline stage within one flow run.
+struct StageTraceEntry {
+    std::string stage;
+    double wall_ms = 0;
+    std::size_t instances = 0;  ///< netlist size after the stage ran
+    /// FlowResult::cost() sampled at the stage boundary: the engine's
+    /// scalar QoR figure, so cost_after - cost_before is the stage's
+    /// QoR delta as metrics accumulate through the pipeline.
+    double cost_before = 0;
+    double cost_after = 0;
+    bool skipped = false;  ///< disabled by mask, inapplicable, or ctx.skip()
+};
+
+/// Per-run stage trace: what ran, how long it took, and what it did to QoR.
+struct StageTrace {
+    std::string design;
+    std::vector<StageTraceEntry> entries;
+    double total_ms = 0;            ///< sum of executed stage wall times
+    std::size_t peak_instances = 0; ///< max netlist size seen at any boundary
+
+    /// Appends an entry and folds it into the totals.
+    void add(StageTraceEntry entry);
+};
+
 /// One-line QoR summary.
 std::string format_flow_result(const FlowResult& r);
 
 /// Multi-run comparison table (fixed-width columns).
 std::string format_flow_table(const std::vector<FlowResult>& runs);
+
+/// JSON object for one trace / JSON array for a batch of traces. Stable
+/// key order so bench output diffs cleanly across runs.
+std::string stage_trace_json(const StageTrace& trace);
+std::string stage_trace_json(const std::vector<StageTrace>& traces);
 
 }  // namespace janus

@@ -1,10 +1,15 @@
 #include "janus/util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace janus {
 namespace {
-LogLevel g_level = LogLevel::Warning;
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warning)};
+std::mutex g_emit_mutex;
+thread_local std::string t_context;
 
 const char* prefix(LogLevel level) {
     switch (level) {
@@ -18,11 +23,31 @@ const char* prefix(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_context(std::string label) { t_context = std::move(label); }
+
+const std::string& log_context() { return t_context; }
+
+ScopedLogContext::ScopedLogContext(std::string label)
+    : previous_(std::exchange(t_context, std::move(label))) {}
+
+ScopedLogContext::~ScopedLogContext() { t_context = std::move(previous_); }
 
 void log(LogLevel level, const std::string& msg) {
-    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+        return;
+    }
+    // One locked emission per call: lines from concurrent workers never
+    // interleave mid-character, and the context tag rides on every line.
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    if (!t_context.empty()) std::cerr << '[' << t_context << "] ";
     std::cerr << prefix(level) << msg << '\n';
 }
 

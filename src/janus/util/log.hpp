@@ -2,6 +2,11 @@
 /// \file log.hpp
 /// Minimal leveled logging to stderr. Off by default above Warning so tests
 /// and benches stay quiet; flows can raise verbosity for debugging.
+///
+/// The sink is thread-safe: concurrent log() calls from batch flow workers
+/// emit whole lines, never interleaved characters. Each thread may set a
+/// context label (e.g. "flow:cpu0/route") that is prefixed to its messages
+/// so interleaved batch-run logs stay attributable to a design and stage.
 
 #include <string>
 
@@ -9,9 +14,28 @@ namespace janus {
 
 enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Silent = 4 };
 
-/// Sets the global minimum level that is actually emitted.
+/// Sets the global minimum level that is actually emitted (thread-safe).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Sets this thread's context label; emitted as "[label] " before every
+/// message the thread logs. An empty string clears the prefix.
+void set_log_context(std::string label);
+/// This thread's current context label ("" when unset).
+const std::string& log_context();
+
+/// RAII context label: restores the thread's previous label on scope exit,
+/// so nested scopes (per-design, then per-stage) compose.
+class ScopedLogContext {
+  public:
+    explicit ScopedLogContext(std::string label);
+    ~ScopedLogContext();
+    ScopedLogContext(const ScopedLogContext&) = delete;
+    ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+  private:
+    std::string previous_;
+};
 
 /// Emits `msg` to stderr if `level` >= the global threshold.
 void log(LogLevel level, const std::string& msg);

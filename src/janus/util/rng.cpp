@@ -79,4 +79,12 @@ std::size_t Rng::pick_index(std::size_t size) {
     return static_cast<std::size_t>(next_below(size));
 }
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+    // Two avalanche rounds fully decorrelate neighbouring stream indices
+    // (a single round leaves low-bit structure for small bases).
+    std::uint64_t x = base ^ rotl(stream + 0x9E3779B97F4A7C15ULL, 31);
+    std::uint64_t z = splitmix64(x);
+    return splitmix64(x) ^ z;
+}
+
 }  // namespace janus

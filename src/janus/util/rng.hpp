@@ -55,4 +55,10 @@ class Rng {
     std::uint64_t s_[4];
 };
 
+/// Derives an independent stream seed from a base seed and a stream index
+/// (splitmix64 avalanche). Used for per-task seeding in batch/parallel
+/// execution: the stream a task sees depends only on (base, stream), never
+/// on which worker thread ran it, so parallel runs reproduce serial ones.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace janus

@@ -1,0 +1,96 @@
+#include "janus/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <utility>
+
+namespace janus {
+
+ThreadPool::ThreadPool(int workers) {
+    const int n = std::max(1, workers);
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();  // tasks must not throw; for_each_index wraps user fns
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) all_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    // Exception bookkeeping: keep the one thrown by the lowest index so a
+    // parallel run reports the same failure a serial loop would hit first.
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+    std::atomic<std::size_t> remaining{n};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        submit([&, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+            if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    lock.unlock();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace janus

@@ -1,0 +1,60 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size thread pool for batch flow execution (E5: farm throughput).
+/// Deliberately work-stealing-free: a single locked queue keeps scheduling
+/// simple, and determinism comes from the task side — results are written
+/// by task index and random streams are derived with mix_seed(base, index)
+/// (rng.hpp), so outputs never depend on which worker ran a task or in
+/// what order tasks finished.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace janus {
+
+class ThreadPool {
+  public:
+    /// Spawns `workers` threads (clamped to at least 1). The pool is fixed
+    /// size for its lifetime; the destructor drains the queue and joins.
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return threads_.size(); }
+
+    /// Enqueues a task; returns immediately. Tasks are picked up in FIFO
+    /// order but may complete in any order.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished executing (not just
+    /// been dequeued).
+    void wait_idle();
+
+    /// Runs fn(i) for every i in [0, n) across the pool and blocks until
+    /// all calls return. Iterations must be independent. If any iteration
+    /// throws, the exception thrown by the lowest such index is rethrown
+    /// here after all iterations have settled.
+    void for_each_index(std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;  ///< queued + currently executing
+    bool stopping_ = false;
+};
+
+}  // namespace janus

@@ -84,7 +84,7 @@ TEST(Flow, ReportsClockAndSizingMetrics) {
     cfg.num_flops = 30;
     const Netlist nl = generate_random(lib28(), cfg);
     FlowParams params;
-    params.size_timing = false;  // sequential: sizing applies anyway post-route
+    params.stages = FlowStageMask::ClockTree;  // no sizing; CTS on
     const FlowResult r = run_flow(nl, *find_node("28nm"), params);
     EXPECT_GT(r.clock_skew_ps, 0.0);
     EXPECT_GT(r.clock_wirelength_um, 0.0);
