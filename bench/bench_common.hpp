@@ -4,8 +4,11 @@
 /// construction and uniform claim/shape-check reporting.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "janus/netlist/cell_library.hpp"
 #include "janus/netlist/generator.hpp"
@@ -26,6 +29,39 @@ inline void banner(const char* id, const char* claimant, const char* claim) {
 
 inline void shape_check(const char* what, bool ok) {
     std::printf("SHAPE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+/// Read-modify-write of a shared machine-readable bench file such as
+/// BENCH_route.json: one `"name": {payload}` entry per line, so independent
+/// bench binaries each own a key without needing a JSON parser. Re-running
+/// a bench replaces its entry in place.
+inline void write_json_entry(const std::string& path, const std::string& name,
+                             const std::string& payload) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            const auto q0 = line.find('"');
+            if (q0 == std::string::npos) continue;  // braces / blank lines
+            const auto q1 = line.find('"', q0 + 1);
+            if (q1 == std::string::npos) continue;
+            const std::string key = line.substr(q0 + 1, q1 - q0 - 1);
+            const auto colon = line.find(':', q1);
+            if (colon == std::string::npos || key == name) continue;
+            std::string value = line.substr(colon + 1);
+            if (!value.empty() && value.back() == ',') value.pop_back();
+            entries.emplace_back(key, value);
+        }
+    }
+    entries.emplace_back(name, " " + payload);
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        out << "\"" << entries[i].first << "\":" << entries[i].second
+            << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
 }
 
 }  // namespace janus::bench

@@ -31,6 +31,10 @@ int main() {
     std::vector<double> per_inst_ms;
     bool all_legal = true, all_routed = true;
     double worst_overflow_frac = 0.0;
+    // Largest-design route figures, exported to BENCH_route.json so the
+    // perf trajectory is machine-readable across PRs.
+    std::size_t last_instances = 0, last_expanded = 0, last_pattern = 0;
+    double last_route_ms = 0, last_overflow = 0, last_ipd = 0;
     for (const std::size_t gates : {20000u, 60000u, 150000u, 400000u}) {
         // Datapath-style mesh: the Rent-realistic workload (networking
         // sub-chips are regular datapaths, not random graphs).
@@ -72,9 +76,28 @@ int main() {
         worst_overflow_frac = std::max(
             worst_overflow_frac,
             routes.total_overflow / std::max(1.0, static_cast<double>(routes.total_wirelength)));
+        last_instances = nl.num_instances();
+        last_expanded = routes.search_cells_expanded;
+        last_pattern = routes.pattern_cells;
+        last_route_ms = ms(t2, t3);
+        last_overflow = routes.total_overflow;
+        last_ipd = ipd;
         std::printf("%10zu %10.0f %10.0f %10.0f %12.0f %14.2e\n",
                     nl.num_instances(), ms(t0, t1), ms(t1, t2), ms(t2, t3), total,
                     ipd);
+    }
+
+    {
+        char payload[512];
+        std::snprintf(payload, sizeof payload,
+                      "{\"instances\": %zu, \"inst_per_day\": %.3e, "
+                      "\"route_ms\": %.0f, \"cells_expanded\": %zu, "
+                      "\"pattern_cells\": %zu, \"overflow\": %.1f}",
+                      last_instances, last_ipd, last_route_ms, last_expanded,
+                      last_pattern, last_overflow);
+        bench::write_json_entry("BENCH_route.json", "e5_pnr_throughput",
+                                payload);
+        std::printf("\nwrote BENCH_route.json entry e5_pnr_throughput\n");
     }
 
     std::printf("\npaper claim: ~1e6 instances/day on a multicore farm\n");

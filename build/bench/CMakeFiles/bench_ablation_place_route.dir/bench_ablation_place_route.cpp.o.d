@@ -160,7 +160,11 @@ bench/CMakeFiles/bench_ablation_place_route.dir/bench_ablation_place_route.cpp.o
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -200,13 +204,14 @@ bench/CMakeFiles/bench_ablation_place_route.dir/bench_ablation_place_route.cpp.o
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/janus/netlist/cell_library.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/janus/netlist/technology.hpp \
  /root/repo/src/janus/netlist/generator.hpp \
  /root/repo/src/janus/netlist/netlist.hpp /usr/include/c++/12/array \
@@ -223,4 +228,5 @@ bench/CMakeFiles/bench_ablation_place_route.dir/bench_ablation_place_route.cpp.o
  /root/repo/src/janus/place/legalize.hpp \
  /root/repo/src/janus/place/sa_place.hpp \
  /root/repo/src/janus/route/global_router.hpp \
- /root/repo/src/janus/route/grid_graph.hpp
+ /root/repo/src/janus/route/grid_graph.hpp \
+ /root/repo/src/janus/route/maze_router.hpp

@@ -184,7 +184,11 @@ bench/CMakeFiles/bench_e5_pnr_throughput.dir/bench_e5_pnr_throughput.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -223,7 +227,8 @@ bench/CMakeFiles/bench_e5_pnr_throughput.dir/bench_e5_pnr_throughput.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/janus/netlist/cell_library.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -242,4 +247,5 @@ bench/CMakeFiles/bench_e5_pnr_throughput.dir/bench_e5_pnr_throughput.cpp.o: \
  /root/repo/src/janus/place/analytic_place.hpp \
  /root/repo/src/janus/place/legalize.hpp \
  /root/repo/src/janus/route/global_router.hpp \
- /root/repo/src/janus/route/grid_graph.hpp
+ /root/repo/src/janus/route/grid_graph.hpp \
+ /root/repo/src/janus/route/maze_router.hpp

@@ -258,6 +258,7 @@ src/CMakeFiles/janus.dir/janus/flow/flow_engine.cpp.o: \
  /root/repo/src/janus/route/clock_tree.hpp \
  /root/repo/src/janus/route/global_router.hpp \
  /root/repo/src/janus/route/grid_graph.hpp \
+ /root/repo/src/janus/route/maze_router.hpp \
  /root/repo/src/janus/timing/sizing.hpp \
  /root/repo/src/janus/timing/sta.hpp /root/repo/src/janus/util/log.hpp \
  /root/repo/src/janus/util/thread_pool.hpp \

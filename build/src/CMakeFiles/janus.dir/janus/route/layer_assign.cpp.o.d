@@ -212,7 +212,8 @@ src/CMakeFiles/janus.dir/janus/route/layer_assign.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/janus/route/grid_graph.hpp /usr/include/c++/12/cmath \
+ /root/repo/src/janus/route/grid_graph.hpp \
+ /root/repo/src/janus/route/maze_router.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

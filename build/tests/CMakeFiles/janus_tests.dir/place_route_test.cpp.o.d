@@ -309,7 +309,7 @@ tests/CMakeFiles/janus_tests.dir/place_route_test.cpp.o: \
  /root/repo/src/janus/place/sa_place.hpp \
  /root/repo/src/janus/route/global_router.hpp \
  /root/repo/src/janus/route/grid_graph.hpp \
+ /root/repo/src/janus/route/maze_router.hpp \
  /root/repo/src/janus/route/layer_assign.hpp \
  /root/repo/src/janus/route/line_search.hpp \
- /root/repo/src/janus/route/maze_router.hpp \
  /root/repo/src/janus/route/multipattern.hpp

@@ -6,3 +6,4 @@
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/janus_tests[1]_include.cmake")
 include("/root/repo/build/tests/flow_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/route_parallel_test[1]_include.cmake")

@@ -52,6 +52,9 @@ struct FlowParams {
     int sa_moves_per_cell = 0;     ///< 0 disables detailed placement
     int router_iterations = 8;
     int routing_layers = 6;
+    /// Threads for the router's batch-parallel rip-up-and-reroute. QoR is
+    /// byte-identical for any value (docs/ROUTING.md); 1 = serial.
+    int route_workers = 1;
     FlowStageMask stages = FlowStageMask::Default;
     int scan_chains = 4;
     std::uint64_t seed = 1;

@@ -146,9 +146,13 @@ FlowEngine::FlowEngine() {
         const double gcell_nm =
             static_cast<double>(ctx.area.die.width()) / ropts.gcells_x;
         ropts.capacity_per_layer = 0.65 * gcell_nm / ctx.node.metal_pitch_nm;
+        ropts.route_workers = ctx.params.route_workers;
         const GlobalRouteResult gr = route_design(ctx.netlist, ctx.area, ropts);
         ctx.result.route_wirelength = gr.total_wirelength;
         ctx.result.route_overflow = gr.total_overflow;
+        ctx.stage_note = "batches=" + std::to_string(gr.reroute_batches) +
+                         " conflicts=" + std::to_string(gr.reroute_conflicts) +
+                         " workers=" + std::to_string(ctx.params.route_workers);
     });
 
     add("cts",
@@ -232,9 +236,12 @@ FlowResult FlowEngine::run_until(FlowContext& ctx, std::size_t end_stage) const 
         }
         ScopedLogContext log_ctx("flow:" + ctx.result.design + "/" +
                                  stage.name);
+        ctx.stage_note.clear();
         const auto s0 = std::chrono::steady_clock::now();
         stage.run(ctx);
         entry.wall_ms = elapsed_ms(s0);
+        entry.detail = std::move(ctx.stage_note);
+        ctx.stage_note.clear();
         refresh_size();
         entry.instances = ctx.result.instances;
         entry.cost_after = ctx.result.cost();

@@ -62,6 +62,11 @@ struct FlowContext {
     /// stopped.
     std::size_t next_stage = 0;
 
+    /// A stage may leave a short free-form note here (e.g. the route stage
+    /// records reroute batches/conflicts); the engine moves it into the
+    /// stage's StageTraceEntry::detail and clears it between stages.
+    std::string stage_note;
+
     /// Marks a stage (by name) to be skipped when reached.
     void skip(std::string stage_name);
     bool is_skipped(std::string_view stage_name) const;

@@ -86,8 +86,11 @@ std::string stage_trace_json(const StageTrace& trace) {
            << "\"wall_ms\":" << e.wall_ms << ","
            << "\"instances\":" << e.instances << ","
            << "\"cost_before\":" << e.cost_before << ","
-           << "\"cost_after\":" << e.cost_after << ","
-           << "\"skipped\":" << (e.skipped ? "true" : "false") << "}";
+           << "\"cost_after\":" << e.cost_after << ",";
+        if (!e.detail.empty()) {
+            os << "\"detail\":\"" << json_escape(e.detail) << "\",";
+        }
+        os << "\"skipped\":" << (e.skipped ? "true" : "false") << "}";
     }
     os << "]}";
     return os.str();

@@ -22,6 +22,9 @@ struct StageTraceEntry {
     /// QoR delta as metrics accumulate through the pipeline.
     double cost_before = 0;
     double cost_after = 0;
+    /// Optional stage-specific note (e.g. the route stage's reroute
+    /// "batches=N conflicts=M workers=K"); empty for most stages.
+    std::string detail;
     bool skipped = false;  ///< disabled by mask, inapplicable, or ctx.skip()
 };
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <unordered_set>
 
 #include "janus/route/line_search.hpp"
 #include "janus/route/maze_router.hpp"
+#include "janus/util/thread_pool.hpp"
 
 namespace janus {
 namespace {
@@ -87,14 +90,26 @@ GridRoute l_route(const GridGraph& grid, GCell from, GCell to) {
     return cost(a) <= cost(b) ? a : b;
 }
 
-/// Routes one net as a tree: pins join one at a time via the cheapest path
-/// from the already-routed tree (Steiner-style growth). `pattern` selects
-/// the O(length) L-route first pass; rip-up-and-reroute uses full search.
-void route_net(GridGraph& grid, RoutedNet& rn, const std::vector<GCell>& pins,
-               RouteEngine engine, bool pattern, SearchStats* stats,
-               double congestion_penalty = 8.0) {
-    rn.segments.clear();
+}  // namespace
+
+RoutedNet route_net_tree(const GridGraph& grid, NetId net,
+                         const std::vector<GCell>& pins, RouteEngine engine,
+                         bool pattern_first, SearchStats* stats,
+                         double congestion_penalty) {
+    RoutedNet rn;
+    rn.net = net;
+    if (pins.empty()) return rn;
     std::vector<GCell> tree{pins.front()};
+    // Route cells revisit tree cells constantly (every path starts on one),
+    // so the tree is grown through a visited set: duplicates would inflate
+    // memory and degrade the nearest-cell scan to O(total route cells).
+    std::unordered_set<std::uint64_t> in_tree;
+    const auto cell_key = [](const GCell& c) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x))
+                << 32) |
+               static_cast<std::uint32_t>(c.y);
+    };
+    in_tree.insert(cell_key(pins.front()));
     for (std::size_t p = 1; p < pins.size(); ++p) {
         std::optional<GridRoute> path;
         // Nearest tree cell (used by both pattern and line-search modes).
@@ -107,9 +122,9 @@ void route_net(GridGraph& grid, RoutedNet& rn, const std::vector<GCell>& pins,
                 nearest = &t;
             }
         }
-        if (pattern) {
+        if (pattern_first) {
             path = l_route(grid, *nearest, pins[p]);
-            if (stats) stats->cells_expanded += path->cells.size();
+            if (stats) stats->pattern_cells += path->cells.size();
         } else if (engine == RouteEngine::LineSearch) {
             path = line_search_route(grid, *nearest, pins[p], {}, stats);
         }
@@ -118,12 +133,14 @@ void route_net(GridGraph& grid, RoutedNet& rn, const std::vector<GCell>& pins,
             mo.congestion_penalty = congestion_penalty;
             path = maze_route_from_tree(grid, tree, pins[p], mo, stats);
         }
-        for (const GCell& c : path->cells) tree.push_back(c);
+        for (const GCell& c : path->cells) {
+            if (in_tree.insert(cell_key(c)).second) tree.push_back(c);
+        }
         rn.segments.push_back(std::move(*path));
     }
+    if (stats) stats->tree_cells += tree.size();
+    return rn;
 }
-
-}  // namespace
 
 GCell gcell_of(const Point& p, const Rect& die, int gx, int gy) {
     const auto clamp_to = [](std::int64_t v, int n) {
@@ -171,21 +188,25 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
         net_pins.push_back(std::move(pins));
     }
 
-    // Net order: small bounding boxes first.
+    // Net order: small bounding boxes first; the net id breaks ties so the
+    // order (and everything routed in it) is reproducible across standard
+    // libraries — a bare bbox key left equal-size nets in
+    // implementation-defined order.
     std::vector<std::size_t> order(res.nets.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    const auto bbox_size = [&](std::size_t i) {
-        int minx = 1 << 30, maxx = 0, miny = 1 << 30, maxy = 0;
-        for (const GCell& p : net_pins[i]) {
-            minx = std::min(minx, p.x);
-            maxx = std::max(maxx, p.x);
-            miny = std::min(miny, p.y);
-            maxy = std::max(maxy, p.y);
-        }
-        return (maxx - minx) + (maxy - miny);
-    };
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return bbox_size(a) < bbox_size(b); });
+    std::vector<int> bbox_size(res.nets.size());
+    for (std::size_t i = 0; i < res.nets.size(); ++i) {
+        GCellRect r;
+        for (const GCell& p : net_pins[i]) r.include(p);
+        bbox_size[i] = r.span_x() + r.span_y();
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (bbox_size[a] != bbox_size[b]) {
+                             return bbox_size[a] < bbox_size[b];
+                         }
+                         return res.nets[a].net < res.nets[b].net;
+                     });
 
     SearchStats stats;
     // First pass: cheap pattern routing for the maze engine (full search
@@ -193,30 +214,109 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
     // line-search engine demonstrates its own probes everywhere.
     const bool pattern_first = opts.engine == RouteEngine::Maze;
     for (const std::size_t i : order) {
-        route_net(grid, res.nets[i], net_pins[i], opts.engine, pattern_first,
-                  &stats);
+        res.nets[i] = route_net_tree(grid, res.nets[i].net, net_pins[i],
+                                     opts.engine, pattern_first, &stats);
         commit_net(grid, res.nets[i], opts.gcells_x, +1);
     }
 
-    // Negotiated rip-up-and-reroute on congested nets.
+    // Region a rerouted net may touch: everything it will rip up plus the
+    // maze search window around its pins. Nets whose regions are disjoint
+    // cannot read or write each other's edges (up to the rare unwindowed
+    // fallback), so they reroute like consecutive serial nets.
+    const auto net_region = [&](std::size_t i) {
+        GCellRect r;
+        for (const GCell& p : net_pins[i]) r.include(p);
+        const int margin = maze_window_margin(r.span_x(), r.span_y());
+        for (const GridRoute& s : res.nets[i].segments) {
+            for (const GCell& c : s.cells) r.include(c);
+        }
+        return r.expanded(margin).clipped(opts.gcells_x, opts.gcells_y);
+    };
+
+    // Negotiated rip-up-and-reroute, batch-parallel and deterministic: the
+    // congested nets of an iteration are partitioned into batches with
+    // pairwise non-overlapping regions; a batch is ripped up, routed against
+    // the now-frozen grid (concurrently when route_workers allows — routing
+    // only reads), and committed serially in net order. Scheduling therefore
+    // cannot reach the result: it is byte-identical for any worker count.
+    const int workers = std::max(1, opts.route_workers);
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<int> cell_level(static_cast<std::size_t>(opts.gcells_x) *
+                                static_cast<std::size_t>(opts.gcells_y));
     int iter = 0;
     for (; iter < opts.max_iterations && grid.total_overflow() > 0; ++iter) {
         grid.accumulate_history();
+        // Congested nets in net order, against the iteration-start state.
+        std::vector<std::size_t> congested;
         for (const std::size_t i : order) {
-            RoutedNet& rn = res.nets[i];
-            bool congested = false;
-            for (const auto& [a, b] : net_edges(rn, opts.gcells_x)) {
+            for (const auto& [a, b] : net_edges(res.nets[i], opts.gcells_x)) {
                 if (!grid.edge_free(a, b)) {
-                    congested = true;
+                    congested.push_back(i);
                     break;
                 }
             }
-            if (!congested) continue;
-            commit_net(grid, rn, opts.gcells_x, -1);
-            // Negotiation: full edges repel harder every iteration.
-            route_net(grid, rn, net_pins[i], opts.engine, false, &stats,
-                      8.0 * (1.0 + iter));
-            commit_net(grid, rn, opts.gcells_x, +1);
+        }
+        if (congested.empty()) break;
+
+        // Batch levels: each net lands one level past the deepest earlier
+        // net whose region it touches, so conflicting nets keep their
+        // relative order across batches. The per-cell max-level map makes
+        // this O(region area) per net instead of O(congested^2).
+        std::fill(cell_level.begin(), cell_level.end(), 0);
+        std::vector<int> level(congested.size(), 0);
+        int levels = 1;
+        for (std::size_t j = 0; j < congested.size(); ++j) {
+            const GCellRect r = net_region(congested[j]);
+            int lv = 0;
+            for (int y = r.y0; y <= r.y1; ++y) {
+                const int* row = cell_level.data() +
+                                 static_cast<std::size_t>(y) * opts.gcells_x;
+                for (int x = r.x0; x <= r.x1; ++x) lv = std::max(lv, row[x]);
+            }
+            level[j] = lv;
+            if (lv > 0) ++res.reroute_conflicts;
+            levels = std::max(levels, lv + 1);
+            for (int y = r.y0; y <= r.y1; ++y) {
+                int* row = cell_level.data() +
+                           static_cast<std::size_t>(y) * opts.gcells_x;
+                for (int x = r.x0; x <= r.x1; ++x) {
+                    row[x] = std::max(row[x], lv + 1);
+                }
+            }
+        }
+        std::vector<std::vector<std::size_t>> batches(
+            static_cast<std::size_t>(levels));
+        for (std::size_t j = 0; j < congested.size(); ++j) {
+            batches[static_cast<std::size_t>(level[j])].push_back(congested[j]);
+        }
+
+        // Negotiation: full edges repel harder every iteration.
+        const double penalty = 8.0 * (1.0 + iter);
+        for (const std::vector<std::size_t>& batch : batches) {
+            ++res.reroute_batches;
+            for (const std::size_t i : batch) {
+                commit_net(grid, res.nets[i], opts.gcells_x, -1);
+            }
+            if (workers > 1 && batch.size() > 1) {
+                if (!pool) pool = std::make_unique<ThreadPool>(workers);
+                std::vector<SearchStats> task_stats(batch.size());
+                pool->for_each_index(batch.size(), [&](std::size_t t) {
+                    const std::size_t i = batch[t];
+                    res.nets[i] = route_net_tree(grid, res.nets[i].net,
+                                                 net_pins[i], opts.engine,
+                                                 false, &task_stats[t], penalty);
+                });
+                for (const SearchStats& s : task_stats) stats += s;
+            } else {
+                for (const std::size_t i : batch) {
+                    res.nets[i] = route_net_tree(grid, res.nets[i].net,
+                                                 net_pins[i], opts.engine,
+                                                 false, &stats, penalty);
+                }
+            }
+            for (const std::size_t i : batch) {
+                commit_net(grid, res.nets[i], opts.gcells_x, +1);
+            }
         }
     }
 
@@ -224,6 +324,7 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
     res.total_overflow = grid.total_overflow();
     res.overflowed_edges = grid.overflowed_edges();
     res.search_cells_expanded = stats.cells_expanded;
+    res.pattern_cells = stats.pattern_cells;
     for (const RoutedNet& rn : res.nets) {
         res.total_wirelength += net_edges(rn, opts.gcells_x).size();
     }

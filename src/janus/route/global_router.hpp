@@ -10,6 +10,7 @@
 
 #include "janus/place/analytic_place.hpp"
 #include "janus/route/grid_graph.hpp"
+#include "janus/route/maze_router.hpp"
 
 namespace janus {
 
@@ -23,6 +24,11 @@ struct GlobalRouteOptions {
     int routing_layers = 6;
     RouteEngine engine = RouteEngine::Maze;
     int max_iterations = 12;  ///< rip-up-and-reroute rounds
+    /// Worker threads for the negotiation loop's batch-parallel reroutes.
+    /// The result is byte-identical for every value (congested nets are
+    /// routed against a frozen grid and committed serially in net order —
+    /// see docs/ROUTING.md); 1 keeps the loop fully serial.
+    int route_workers = 1;
 };
 
 struct RoutedNet {
@@ -41,13 +47,32 @@ struct GlobalRouteResult {
     double total_overflow = 0;
     std::size_t overflowed_edges = 0;
     int iterations = 0;
+    /// Cells visited by real search (maze / line probes). First-pass pattern
+    /// L-routes lay cells without searching; those land in pattern_cells so
+    /// engine comparisons (E3) are not skewed by the pattern pass.
     std::size_t search_cells_expanded = 0;
+    std::size_t pattern_cells = 0;
+    /// Negotiation observability: overlap-free batches formed across all
+    /// rip-up iterations, and nets deferred to a later batch because their
+    /// region touched an earlier congested net's.
+    std::size_t reroute_batches = 0;
+    std::size_t reroute_conflicts = 0;
     bool success() const { return total_overflow == 0; }
 };
 
 /// Routes every multi-pin net of a placed netlist on a fresh grid.
 GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
                                const GlobalRouteOptions& opts = {});
+
+/// Routes one multi-pin net as a tree over an existing grid: pins join one
+/// at a time via the cheapest path from the already-routed tree. Does not
+/// commit usage. `pattern_first` selects the O(length) L-route first pass;
+/// rip-up-and-reroute calls back with full search and a scaled penalty.
+/// Reads the grid only, so concurrent calls on one grid are safe.
+RoutedNet route_net_tree(const GridGraph& grid, NetId net,
+                         const std::vector<GCell>& pins, RouteEngine engine,
+                         bool pattern_first, SearchStats* stats = nullptr,
+                         double congestion_penalty = 8.0);
 
 /// Maps a placement position to its gcell.
 GCell gcell_of(const Point& p, const Rect& die, int gx, int gy);

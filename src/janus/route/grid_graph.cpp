@@ -17,20 +17,29 @@ GridGraph::GridGraph(int width, int height, double edge_capacity)
     v_hist_.assign(v_usage_.size(), 0.0);
 }
 
-double& GridGraph::usage_ref(const GCell& a, const GCell& b) {
+std::size_t GridGraph::edge_index(const GCell& a, const GCell& b,
+                                  bool& horizontal) const {
     assert(contains(a) && contains(b));
     if (a.y == b.y) {
-        const int x = std::min(a.x, b.x);
         assert(std::abs(a.x - b.x) == 1);
-        return h_usage_[h_index(x, a.y)];
+        horizontal = true;
+        return h_index(std::min(a.x, b.x), a.y);
     }
     assert(a.x == b.x && std::abs(a.y - b.y) == 1);
-    const int y = std::min(a.y, b.y);
-    return v_usage_[v_index(a.x, y)];
+    horizontal = false;
+    return v_index(a.x, std::min(a.y, b.y));
+}
+
+double& GridGraph::usage_ref(const GCell& a, const GCell& b) {
+    bool horizontal = false;
+    const std::size_t i = edge_index(a, b, horizontal);
+    return horizontal ? h_usage_[i] : v_usage_[i];
 }
 
 double GridGraph::usage_of(const GCell& a, const GCell& b) const {
-    return const_cast<GridGraph*>(this)->usage_ref(a, b);
+    bool horizontal = false;
+    const std::size_t i = edge_index(a, b, horizontal);
+    return horizontal ? h_usage_[i] : v_usage_[i];
 }
 
 double GridGraph::history_of(const GCell& a, const GCell& b) const {

@@ -4,6 +4,7 @@
 /// Both routers (maze and line-search) and the rip-up-and-reroute loop
 /// operate on this structure.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,52 @@ struct GCell {
     int x = 0;
     int y = 0;
     friend bool operator==(const GCell&, const GCell&) = default;
+};
+
+/// An inclusive rectangle of gcells, [x0..x1] x [y0..y1]. Default-constructed
+/// rectangles are empty. Used for the maze search window and for the overlap
+/// queries that partition congested nets into independently-routable batches
+/// (global_router.cpp; see docs/ROUTING.md).
+struct GCellRect {
+    int x0 = 0, y0 = 0, x1 = -1, y1 = -1;
+
+    bool empty() const { return x1 < x0 || y1 < y0; }
+    int span_x() const { return empty() ? 0 : x1 - x0; }
+    int span_y() const { return empty() ? 0 : y1 - y0; }
+
+    void include(const GCell& c) {
+        if (empty()) {
+            x0 = x1 = c.x;
+            y0 = y1 = c.y;
+            return;
+        }
+        x0 = std::min(x0, c.x);
+        x1 = std::max(x1, c.x);
+        y0 = std::min(y0, c.y);
+        y1 = std::max(y1, c.y);
+    }
+
+    bool contains(const GCell& c) const {
+        return c.x >= x0 && c.x <= x1 && c.y >= y0 && c.y <= y1;
+    }
+
+    bool overlaps(const GCellRect& o) const {
+        return !empty() && !o.empty() && x0 <= o.x1 && o.x0 <= x1 &&
+               y0 <= o.y1 && o.y0 <= y1;
+    }
+
+    /// Grown by `margin` on every side (empty stays empty).
+    GCellRect expanded(int margin) const {
+        if (empty()) return *this;
+        return {x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+    }
+
+    /// Intersected with a width x height grid.
+    GCellRect clipped(int width, int height) const {
+        if (empty()) return *this;
+        return {std::max(x0, 0), std::max(y0, 0), std::min(x1, width - 1),
+                std::min(y1, height - 1)};
+    }
 };
 
 /// A routed path: a sequence of adjacent gcells (no layer yet; layer
@@ -72,6 +119,12 @@ class GridGraph {
     std::size_t v_index(int x, int y) const {
         return static_cast<std::size_t>(y) * width_ + x;
     }
+    /// Flat index of the edge a-b and its orientation. Shared by the mutable
+    /// commit path and the const read path, so concurrent readers (the
+    /// batch-parallel reroute phase) never have to const_cast through the
+    /// writer accessor.
+    std::size_t edge_index(const GCell& a, const GCell& b,
+                           bool& horizontal) const;
     double& usage_ref(const GCell& a, const GCell& b);
     double usage_of(const GCell& a, const GCell& b) const;
     double history_of(const GCell& a, const GCell& b) const;

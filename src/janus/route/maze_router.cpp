@@ -18,22 +18,14 @@ std::optional<GridRoute> maze_route_impl(const GridGraph& grid,
     // Search window: bounding box of terminals plus a detour margin. This
     // keeps per-net cost proportional to the net's extent instead of the
     // whole die; the caller retries unwindowed if the window has no path.
-    int wx0 = dst.x, wx1 = dst.x, wy0 = dst.y, wy1 = dst.y;
-    for (const GCell& s : sources) {
-        wx0 = std::min(wx0, s.x);
-        wx1 = std::max(wx1, s.x);
-        wy0 = std::min(wy0, s.y);
-        wy1 = std::max(wy1, s.y);
-    }
+    GCellRect win;
+    win.include(dst);
+    for (const GCell& s : sources) win.include(s);
     const int margin =
-        windowed ? std::max(6, ((wx1 - wx0) + (wy1 - wy0)) / 3) : 1 << 28;
-    wx0 = std::max(0, wx0 - margin);
-    wy0 = std::max(0, wy0 - margin);
-    wx1 = std::min(grid.width() - 1, wx1 + margin);
-    wy1 = std::min(grid.height() - 1, wy1 + margin);
-    const auto in_window = [&](const GCell& c) {
-        return c.x >= wx0 && c.x <= wx1 && c.y >= wy0 && c.y <= wy1;
-    };
+        windowed ? maze_window_margin(win.span_x(), win.span_y()) : 1 << 28;
+    win = win.expanded(margin).clipped(grid.width(), grid.height());
+    const int wx0 = win.x0, wy0 = win.y0, wx1 = win.x1, wy1 = win.y1;
+    const auto in_window = [&](const GCell& c) { return win.contains(c); };
     const int ww = wx1 - wx0 + 1;
     const auto idx = [&](const GCell& c) {
         return static_cast<std::size_t>(c.y - wy0) * ww + (c.x - wx0);

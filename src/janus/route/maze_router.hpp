@@ -3,6 +3,7 @@
 /// Lee-style maze routing with A* acceleration: finds a minimum-cost path
 /// between two gcells under the grid's congestion-aware edge costs.
 
+#include <algorithm>
 #include <optional>
 
 #include "janus/route/grid_graph.hpp"
@@ -19,9 +20,27 @@ struct MazeOptions {
     bool use_astar = true;
 };
 
-/// Statistics of one search (for router-comparison experiments).
+/// Detour margin the windowed maze search adds around its terminals'
+/// bounding box. Exposed so the batch scheduler in global_router.cpp can
+/// reserve the same region when it tests congested nets for overlap.
+inline int maze_window_margin(int span_x, int span_y) {
+    return std::max(6, (span_x + span_y) / 3);
+}
+
+/// Statistics of one search (for router-comparison experiments). Searches
+/// running concurrently each fill their own instance; the aggregator merges
+/// them with += after the join, so no counter is ever shared across threads.
 struct SearchStats {
-    std::size_t cells_expanded = 0;
+    std::size_t cells_expanded = 0;  ///< cells visited by maze / line search
+    std::size_t pattern_cells = 0;   ///< cells laid by pattern L-routes (no search ran)
+    std::size_t tree_cells = 0;      ///< unique cells in grown net trees
+
+    SearchStats& operator+=(const SearchStats& o) {
+        cells_expanded += o.cells_expanded;
+        pattern_cells += o.pattern_cells;
+        tree_cells += o.tree_cells;
+        return *this;
+    }
 };
 
 /// Routes src -> dst; nullopt when unreachable (only possible with hard

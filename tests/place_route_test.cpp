@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "janus/netlist/generator.hpp"
 #include "janus/place/analytic_place.hpp"
@@ -212,6 +214,48 @@ TEST(MazeRouter, AvoidsCongestedRegion) {
     EXPECT_TRUE(used_top);
 }
 
+TEST(MazeRouter, WindowFallbackFindsDetourOutsideWindow) {
+    GridGraph grid(40, 40, 1.0);
+    // Wall between x=1 and x=2 up to y=19: the only path from {0,0} to
+    // {3,0} detours above y=19, far outside the windowed search region
+    // (terminal bbox + margin caps y at 6 here), forcing the
+    // windowed -> unwindowed retry.
+    for (int y = 0; y <= 19; ++y) {
+        GridRoute block;
+        block.cells = {{1, y}, {2, y}};
+        grid.add_route(block);
+    }
+    MazeOptions opts;
+    opts.hard_blockages = true;
+    SearchStats stats;
+    const auto r = maze_route(grid, {0, 0}, {3, 0}, opts, &stats);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cells.front(), (GCell{0, 0}));
+    EXPECT_EQ(r->cells.back(), (GCell{3, 0}));
+    bool above_wall = false;
+    for (const GCell& c : r->cells) above_wall |= (c.y >= 20);
+    EXPECT_TRUE(above_wall);
+    EXPECT_GT(stats.cells_expanded, 0u);
+}
+
+TEST(MazeRouter, MultiSourceSkipsSourcesOutsideGrid) {
+    GridGraph grid(16, 16, 4.0);
+    const std::vector<GCell> sources{{-3, -3}, {40, 2}, {4, 4}};
+    const auto r = maze_route_from_tree(grid, sources, {12, 12});
+    ASSERT_TRUE(r.has_value());
+    // Only the in-grid source can seed the search.
+    EXPECT_EQ(r->cells.front(), (GCell{4, 4}));
+    EXPECT_EQ(r->cells.back(), (GCell{12, 12}));
+    EXPECT_EQ(r->length(), 16u);  // Manhattan distance from {4,4}
+}
+
+TEST(MazeRouter, MultiSourceAllOutsideReturnsNullopt) {
+    GridGraph grid(16, 16, 4.0);
+    const std::vector<GCell> sources{{-1, 0}, {16, 16}, {5, -2}};
+    EXPECT_FALSE(maze_route_from_tree(grid, sources, {8, 8}).has_value());
+    EXPECT_FALSE(maze_route_from_tree(grid, {}, {8, 8}).has_value());
+}
+
 TEST(MazeRouter, UnreachableReturnsNullopt) {
     GridGraph grid(8, 8, 1.0);
     // Full wall.
@@ -281,6 +325,35 @@ TEST(GlobalRouter, RoutesPlacedDesignWithoutOverflow) {
             }
         }
     }
+}
+
+TEST(GlobalRouter, HighFanoutTreeDeduplicatesCells) {
+    // Regression: the tree grower used to append every path cell without
+    // dedup, so a high-fanout net's tree held each trunk cell once per
+    // sink, inflating memory and degrading the nearest-cell scan. The tree
+    // size must equal the number of unique routed cells.
+    GridGraph grid(48, 48, 64.0);
+    std::vector<GCell> pins{{24, 24}};
+    for (int k = 0; k < 20; ++k) {
+        // Sinks on a ring: their L-routes all share trunk cells near the
+        // already-routed tree.
+        pins.push_back(GCell{24 + (k % 2 ? 15 : 10) * ((k % 4 < 2) ? 1 : -1),
+                             24 + (k * 2) % 15 * ((k % 3 < 2) ? 1 : -1)});
+    }
+    SearchStats stats;
+    const RoutedNet rn =
+        route_net_tree(grid, 7, pins, RouteEngine::Maze, /*pattern_first=*/true,
+                       &stats);
+    EXPECT_EQ(rn.net, 7u);
+    EXPECT_EQ(rn.segments.size(), pins.size() - 1);
+    std::set<std::pair<int, int>> unique_cells{{pins.front().x, pins.front().y}};
+    for (const GridRoute& s : rn.segments) {
+        for (const GCell& c : s.cells) unique_cells.insert({c.x, c.y});
+    }
+    EXPECT_EQ(stats.tree_cells, unique_cells.size());
+    // Every path is laid by the pattern pass on this uncongested grid.
+    EXPECT_GT(stats.pattern_cells, 0u);
+    EXPECT_EQ(stats.cells_expanded, 0u);
 }
 
 TEST(GlobalRouter, LineSearchEngineAlsoCompletes) {
