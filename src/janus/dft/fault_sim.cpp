@@ -56,6 +56,8 @@ std::vector<std::uint64_t> simulate_core(const Netlist& nl,
     for (const NetId pi : nl.primary_inputs()) inject(pi);
     for (const InstId f : nl.sequential_instances()) inject(nl.instance(f).output);
 
+    // One call per fault per batch; the epoch-cached order makes this a
+    // vector walk, not a Kahn pass each time.
     for (const InstId i : nl.topological_order()) {
         const Instance& inst = nl.instance(i);
         const CellFunction fn = nl.type_of(i).function;

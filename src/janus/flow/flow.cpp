@@ -23,6 +23,8 @@ std::string FlowParams::check() const {
         err << "routing_layers must be > 0, got " << routing_layers;
     } else if (route_workers <= 0) {
         err << "route_workers must be > 0 (1 = serial), got " << route_workers;
+    } else if (sta_workers <= 0) {
+        err << "sta_workers must be > 0 (1 = serial), got " << sta_workers;
     } else if (scan_chains <= 0 && enabled(FlowStageMask::Scan)) {
         err << "scan_chains must be > 0 when scan is enabled, got "
             << scan_chains;

@@ -55,6 +55,9 @@ struct FlowParams {
     /// Threads for the router's batch-parallel rip-up-and-reroute. QoR is
     /// byte-identical for any value (docs/ROUTING.md); 1 = serial.
     int route_workers = 1;
+    /// Threads for the timing engine's level-parallel sweeps. Results are
+    /// bit-identical for any value (docs/TIMING.md); 1 = serial.
+    int sta_workers = 1;
     FlowStageMask stages = FlowStageMask::Default;
     int scan_chains = 4;
     std::uint64_t seed = 1;

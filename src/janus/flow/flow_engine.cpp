@@ -17,6 +17,7 @@
 #include "janus/route/global_router.hpp"
 #include "janus/timing/sizing.hpp"
 #include "janus/timing/sta.hpp"
+#include "janus/timing/timing_graph.hpp"
 #include "janus/util/log.hpp"
 #include "janus/util/thread_pool.hpp"
 
@@ -36,6 +37,7 @@ bool is_sequential(const FlowContext& ctx) {
 StaOptions make_sta_options(const FlowContext& ctx) {
     StaOptions opts;
     opts.wire = WireModel::for_node(ctx.node);
+    opts.sta_workers = ctx.params.sta_workers;
     return opts;
 }
 
@@ -173,14 +175,23 @@ FlowEngine::FlowEngine() {
         [](FlowContext& ctx) {
             SizingOptions sopts;
             sopts.sta = make_sta_options(ctx);
-            ctx.result.cells_resized =
-                size_for_timing(ctx.netlist, sopts).cells_resized;
+            const SizingResult sr = size_for_timing(ctx.netlist, sopts);
+            ctx.result.cells_resized = sr.cells_resized;
+            ctx.stage_note = "passes=" + std::to_string(sr.passes) +
+                             " resized=" + std::to_string(sr.cells_resized) +
+                             " evals=" + std::to_string(sr.timing_evals);
         });
 
     add("sta", nullptr, [](FlowContext& ctx) {
-        const TimingReport tr = run_sta(ctx.netlist, make_sta_options(ctx));
+        const StaOptions sopts = make_sta_options(ctx);
+        TimingGraph tg(ctx.netlist, sopts);
+        tg.analyze(sopts.sta_workers);
+        const TimingReport tr = tg.report();
         ctx.result.critical_delay_ps = tr.critical_delay_ps;
         ctx.result.wns_ps = tr.wns_ps;
+        ctx.stage_note = "levels=" + std::to_string(tg.num_levels()) +
+                         " endpoints=" + std::to_string(tg.endpoints().size()) +
+                         " workers=" + std::to_string(sopts.sta_workers);
     });
 
     add("power", nullptr, [](FlowContext& ctx) {

@@ -11,7 +11,11 @@ Netlist::Netlist(std::shared_ptr<const CellLibrary> lib, std::string name)
     if (!lib_) throw std::invalid_argument("Netlist: null cell library");
 }
 
-void Netlist::invalidate_caches() { sink_cache_valid_ = false; }
+void Netlist::invalidate_caches() {
+    sink_cache_valid_ = false;
+    topo_cache_valid_ = false;
+    ++epoch_;
+}
 
 NetId Netlist::add_net(std::string name) {
     nets_.push_back(Net{std::move(name), DriverKind::None, kNoInst});
@@ -107,7 +111,8 @@ std::vector<InstId> Netlist::sequential_instances() const {
     return out;
 }
 
-std::vector<InstId> Netlist::topological_order() const {
+const std::vector<InstId>& Netlist::topological_order() const {
+    if (topo_cache_valid_) return topo_cache_;
     // Kahn's algorithm over combinational instances. A combinational
     // instance is ready when all fanin nets are driven by PIs, flops, or
     // already-ordered combinational instances.
@@ -147,7 +152,10 @@ std::vector<InstId> Netlist::topological_order() const {
     if (order.size() != num_comb) {
         throw std::runtime_error("topological_order: combinational loop in " + name_);
     }
-    return order;
+    // Cache only on success so a loopy netlist keeps throwing until fixed.
+    topo_cache_ = std::move(order);
+    topo_cache_valid_ = true;
+    return topo_cache_;
 }
 
 int Netlist::logic_depth() const {

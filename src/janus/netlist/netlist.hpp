@@ -112,7 +112,18 @@ class Netlist {
     /// DFF outputs are treated as sources and DFF inputs as sinks, so the
     /// order is well defined for sequential designs without combinational
     /// loops. Throws std::runtime_error when a combinational loop exists.
-    std::vector<InstId> topological_order() const;
+    /// The order is cached and only recomputed after a structural mutation
+    /// (epoch-based), so the repeated calls made by STA, fault simulation,
+    /// activity propagation and SSTA cost one Kahn pass total, not one per
+    /// call. The returned reference is valid until the next mutation.
+    const std::vector<InstId>& topological_order() const;
+
+    /// Monotonic counter bumped on every structural mutation (add_net /
+    /// add_instance / connect_input / ...). Long-lived analysis caches such
+    /// as TimingGraph record it at construction and use it to detect
+    /// staleness cheaply. Resizing an instance in place (Instance::type)
+    /// does not change topology and does not bump the epoch.
+    std::uint64_t mutation_epoch() const { return epoch_; }
 
     /// Logic depth in gates of the longest combinational path.
     int logic_depth() const;
@@ -150,6 +161,9 @@ class Netlist {
 
     mutable std::vector<std::vector<SinkRef>> sink_cache_;
     mutable bool sink_cache_valid_ = false;
+    mutable std::vector<InstId> topo_cache_;
+    mutable bool topo_cache_valid_ = false;
+    std::uint64_t epoch_ = 0;
 };
 
 }  // namespace janus

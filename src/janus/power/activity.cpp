@@ -20,6 +20,7 @@ ActivityReport estimate_activity(const Netlist& nl, const ActivityOptions& opts)
         r.toggle_rate[q] = opts.flop_toggle_rate;
     }
 
+    // Epoch-cached order: free after any prior STA/sim on this netlist.
     for (const InstId i : nl.topological_order()) {
         const Instance& inst = nl.instance(i);
         const CellFunction fn = nl.type_of(i).function;

@@ -1,7 +1,10 @@
 #include "janus/timing/corners.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "janus/timing/timing_graph.hpp"
 
 namespace janus {
 
@@ -19,6 +22,9 @@ MultiCornerReport run_multi_corner(const Netlist& nl, const StaOptions& base,
     // A uniform derate k scales every path delay by k; one nominal STA run
     // provides all arrivals, and each corner rescales them.
     const TimingReport nominal = run_sta(nl, base);
+    // The same endpoint set run_sta summarizes over, so per-corner WNS/TNS
+    // are real endpoint slacks, not a critical-delay proxy.
+    const std::vector<TimingEndpoint> endpoints = timing_endpoints(nl, base);
 
     const bool has_flops = !nl.sequential_instances().empty();
     out.worst_setup_slack_ps = std::numeric_limits<double>::infinity();
@@ -31,12 +37,22 @@ MultiCornerReport run_multi_corner(const Netlist& nl, const StaOptions& base,
         // and stay as computed nominally.
         r.critical_delay_ps = nominal.critical_delay_ps * k;
         r.fmax_ghz = r.critical_delay_ps > 0 ? 1000.0 / r.critical_delay_ps : 0;
-        // Setup: slack = (period - setup) - k * arrival at the worst
-        // endpoint; nominal wns = (period - setup) - arrival.
-        const double constraint =
-            nominal.critical_delay_ps + nominal.wns_ps;  // period-ish bound
-        r.wns_ps = constraint - r.critical_delay_ps;
-        r.tns_ps = std::min(0.0, r.wns_ps);  // summary proxy at the corner
+        // Setup: re-evaluate every endpoint against its derated arrival.
+        // slack(e) = required(e) - k * arrival(e); constraints (period,
+        // period - setup) do not derate.
+        double worst = std::numeric_limits<double>::infinity();
+        NetId worst_net = kNoNet;
+        r.tns_ps = 0.0;
+        for (const TimingEndpoint& e : endpoints) {
+            const double s = e.required_ps - r.arrival[e.net];
+            if (s < 0) r.tns_ps += s;
+            if (s < worst) {
+                worst = s;
+                worst_net = e.net;
+            }
+        }
+        r.wns_ps = std::isfinite(worst) ? worst : 0.0;
+        r.worst_endpoint = worst_net;
         // Hold: the min-path arrival scales with the derate; the hold
         // window does not. slack = k * min_arrival - hold. Vacuous (0)
         // for combinational designs with no capture flops.

@@ -46,6 +46,7 @@ SstaReport run_ssta(const Netlist& nl, const SstaOptions& opts) {
         arrival[nl.instance(f).output] = {opts.sta.clk_to_q_ps, 0.0};
     }
 
+    // Epoch-cached order: shared with the run_sta call above, one Kahn pass.
     for (const InstId i : nl.topological_order()) {
         const Instance& inst = nl.instance(i);
         const double d = instance_delay_ps(nl, i, opts.sta.wire);

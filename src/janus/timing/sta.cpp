@@ -1,178 +1,18 @@
 #include "janus/timing/sta.hpp"
 
-#include <cmath>
-#include <algorithm>
-#include <limits>
 #include <sstream>
+
+#include "janus/timing/timing_graph.hpp"
 
 namespace janus {
 
 TimingReport run_sta(const Netlist& nl, const StaOptions& opts) {
-    TimingReport r;
-    const std::size_t nn = nl.num_nets();
-    r.arrival.assign(nn, 0.0);
-    r.required.assign(nn, std::numeric_limits<double>::infinity());
-    r.slack.assign(nn, 0.0);
-
-    // Startpoints: PIs arrive at 0, flop Q pins at clk-to-q.
-    for (const NetId pi : nl.primary_inputs()) r.arrival[pi] = 0.0;
-    for (const InstId f : nl.sequential_instances()) {
-        r.arrival[nl.instance(f).output] = opts.clk_to_q_ps;
-    }
-
-    // Forward sweep over combinational logic.
-    const auto order = nl.topological_order();
-    std::vector<double> gate_delay(nl.num_instances(), 0.0);
-    for (const InstId i : order) {
-        gate_delay[i] = instance_delay_ps(nl, i, opts.wire);
-        const Instance& inst = nl.instance(i);
-        double in_arrival = 0.0;
-        const int arity = function_arity(nl.type_of(i).function);
-        for (int p = 0; p < arity; ++p) {
-            in_arrival = std::max(in_arrival,
-                                  r.arrival[inst.fanin[static_cast<std::size_t>(p)]]);
-        }
-        r.arrival[inst.output] = in_arrival + gate_delay[i];
-    }
-
-    // Endpoints: POs and flop D pins require period (minus setup for flops).
-    const auto constrain = [&](NetId net, double req) {
-        r.required[net] = std::min(r.required[net], req);
-    };
-    for (const auto& [name, net] : nl.primary_outputs()) {
-        (void)name;
-        constrain(net, opts.clock_period_ps);
-    }
-    for (const InstId f : nl.sequential_instances()) {
-        const Instance& inst = nl.instance(f);
-        const int arity = function_arity(nl.type_of(f).function);
-        for (int p = 0; p < arity; ++p) {
-            constrain(inst.fanin[static_cast<std::size_t>(p)],
-                      opts.clock_period_ps - opts.setup_ps);
-        }
-    }
-
-    // Backward sweep.
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        const Instance& inst = nl.instance(*it);
-        const double req_in = r.required[inst.output] - gate_delay[*it];
-        const int arity = function_arity(nl.type_of(*it).function);
-        for (int p = 0; p < arity; ++p) {
-            constrain(inst.fanin[static_cast<std::size_t>(p)], req_in);
-        }
-    }
-
-    // Slacks and summary metrics. Nets with no timing endpoint downstream
-    // keep +inf required; clamp their slack to 0 relevance-wise.
-    double worst = std::numeric_limits<double>::infinity();
-    double critical = 0.0;
-    NetId worst_net = kNoNet;
-    for (NetId n = 0; n < nn; ++n) {
-        if (std::isinf(r.required[n])) {
-            r.slack[n] = std::numeric_limits<double>::infinity();
-            continue;
-        }
-        r.slack[n] = r.required[n] - r.arrival[n];
-    }
-    // TNS/WNS over endpoints only.
-    const auto endpoint_slack = [&](NetId net, double req) {
-        const double s = req - r.arrival[net];
-        if (s < 0) r.tns_ps += s;
-        if (s < worst) {
-            worst = s;
-            worst_net = net;
-        }
-        critical = std::max(critical, r.arrival[net]);
-        (void)worst_net;
-    };
-    for (const auto& [name, net] : nl.primary_outputs()) {
-        (void)name;
-        endpoint_slack(net, opts.clock_period_ps);
-    }
-    for (const InstId f : nl.sequential_instances()) {
-        const Instance& inst = nl.instance(f);
-        const int arity = function_arity(nl.type_of(f).function);
-        for (int p = 0; p < arity; ++p) {
-            endpoint_slack(inst.fanin[static_cast<std::size_t>(p)],
-                           opts.clock_period_ps - opts.setup_ps);
-        }
-    }
-    r.wns_ps = std::isfinite(worst) ? worst : 0.0;
-    r.critical_delay_ps = critical;
-    r.fmax_ghz = critical > 0 ? 1000.0 / critical : 0.0;
-
-    // Hold analysis: minimum arrivals along the same topology; flop D pins
-    // must not receive data before the hold window closes.
-    {
-        std::vector<double> min_arrival(nn, 0.0);
-        for (const NetId pi : nl.primary_inputs()) min_arrival[pi] = 0.0;
-        for (const InstId f : nl.sequential_instances()) {
-            min_arrival[nl.instance(f).output] = opts.clk_to_q_ps;
-        }
-        for (const InstId i : order) {
-            const Instance& inst = nl.instance(i);
-            double in_arrival = std::numeric_limits<double>::infinity();
-            const int arity = function_arity(nl.type_of(i).function);
-            for (int p = 0; p < arity; ++p) {
-                in_arrival = std::min(
-                    in_arrival, min_arrival[inst.fanin[static_cast<std::size_t>(p)]]);
-            }
-            if (arity == 0) in_arrival = 0.0;
-            min_arrival[inst.output] = in_arrival + gate_delay[i];
-        }
-        r.hold_wns_ps = std::numeric_limits<double>::infinity();
-        for (const InstId f : nl.sequential_instances()) {
-            const NetId d = nl.instance(f).fanin[0];
-            if (d == kNoNet) continue;
-            const double slack = min_arrival[d] - opts.hold_ps;
-            if (slack < 0) ++r.hold_violations;
-            r.hold_wns_ps = std::min(r.hold_wns_ps, slack);
-        }
-        if (!std::isfinite(r.hold_wns_ps)) r.hold_wns_ps = 0.0;
-    }
-
-    // Critical path: walk back from the maximal-arrival endpoint.
-    NetId cursor = kNoNet;
-    double best_arr = -1.0;
-    const auto consider = [&](NetId net) {
-        if (r.arrival[net] > best_arr) {
-            best_arr = r.arrival[net];
-            cursor = net;
-        }
-    };
-    for (const auto& [name, net] : nl.primary_outputs()) {
-        (void)name;
-        consider(net);
-    }
-    for (const InstId f : nl.sequential_instances()) {
-        const Instance& inst = nl.instance(f);
-        const int arity = function_arity(nl.type_of(f).function);
-        for (int p = 0; p < arity; ++p) {
-            consider(inst.fanin[static_cast<std::size_t>(p)]);
-        }
-    }
-    while (cursor != kNoNet) {
-        const Net& net = nl.net(cursor);
-        if (net.driver_kind != DriverKind::Instance) break;
-        const InstId d = net.driver_inst;
-        if (is_sequential(nl.type_of(d).function)) break;
-        r.critical_path.push_back(d);
-        // Move to the latest-arriving fanin.
-        const Instance& inst = nl.instance(d);
-        const int arity = function_arity(nl.type_of(d).function);
-        NetId next = kNoNet;
-        double arr = -1.0;
-        for (int p = 0; p < arity; ++p) {
-            const NetId f = inst.fanin[static_cast<std::size_t>(p)];
-            if (r.arrival[f] > arr) {
-                arr = r.arrival[f];
-                next = f;
-            }
-        }
-        cursor = next;
-    }
-    std::reverse(r.critical_path.begin(), r.critical_path.end());
-    return r;
+    // Thin wrapper over the cached engine: one-shot build + full analysis.
+    // Callers that query timing repeatedly (sizing loops, what-if resizes)
+    // should hold a TimingGraph directly and use update().
+    TimingGraph tg(nl, opts);
+    tg.analyze(opts.sta_workers);
+    return tg.report();
 }
 
 std::string format_timing_report(const Netlist& nl, const TimingReport& r) {
@@ -180,6 +20,10 @@ std::string format_timing_report(const Netlist& nl, const TimingReport& r) {
     os << "design " << nl.name() << ": critical delay " << r.critical_delay_ps
        << " ps, fmax " << r.fmax_ghz << " GHz, WNS " << r.wns_ps << " ps, TNS "
        << r.tns_ps << " ps (" << (r.met() ? "MET" : "VIOLATED") << ")\n";
+    if (r.worst_endpoint != kNoNet) {
+        os << "worst endpoint: net " << nl.net(r.worst_endpoint).name
+           << " (slack " << r.wns_ps << " ps)\n";
+    }
     os << "critical path (" << r.critical_path.size() << " stages):";
     for (const InstId i : r.critical_path) {
         os << " " << nl.instance(i).name << "(" << nl.type_of(i).name << ")";

@@ -18,6 +18,10 @@ struct StaOptions {
     double setup_ps = 15.0;
     double hold_ps = 5.0;
     WireModel wire;
+    /// Worker threads for the level-parallel sweeps (1 = serial). Results
+    /// are bit-identical for any value — same determinism contract as
+    /// FlowParams::route_workers (see docs/TIMING.md).
+    int sta_workers = 1;
 };
 
 struct TimingReport {
@@ -35,6 +39,10 @@ struct TimingReport {
     double critical_delay_ps = 0.0;
     /// Maximum clock frequency implied by the critical path (GHz).
     double fmax_ghz = 0.0;
+    /// Endpoint net with the worst setup slack (kNoNet when the design has
+    /// no endpoints). Ties keep the first endpoint in canonical order
+    /// (primary outputs, then flop input pins).
+    NetId worst_endpoint = kNoNet;
     /// Instances along the critical path, startpoint first.
     std::vector<InstId> critical_path;
 
