@@ -17,6 +17,8 @@ std::string FlowParams::check() const {
     } else if (sa_moves_per_cell < 0) {
         err << "sa_moves_per_cell must be >= 0 (0 disables), got "
             << sa_moves_per_cell;
+    } else if (place_workers <= 0) {
+        err << "place_workers must be > 0 (1 = serial), got " << place_workers;
     } else if (router_iterations <= 0) {
         err << "router_iterations must be > 0, got " << router_iterations;
     } else if (routing_layers <= 0) {

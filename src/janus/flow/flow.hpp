@@ -50,6 +50,9 @@ struct FlowParams {
     double utilization = 0.65;
     int placer_iterations = 250;   ///< analytic CG solver iterations
     int sa_moves_per_cell = 0;     ///< 0 disables detailed placement
+    /// Threads for the detailed placer's batch-parallel move evaluation.
+    /// QoR is byte-identical for any value (docs/PLACE.md); 1 = serial.
+    int place_workers = 1;
     int router_iterations = 8;
     int routing_layers = 6;
     /// Threads for the router's batch-parallel rip-up-and-reroute. QoR is

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -110,21 +111,47 @@ FlowEngine::FlowEngine() {
         AnalyticPlaceOptions popts;
         popts.solver_iterations = ctx.params.placer_iterations;
         popts.seed = ctx.params.seed;
-        analytic_place(ctx.netlist, ctx.area, popts);
+        const PlaceQuality pq = analytic_place(ctx.netlist, ctx.area, popts);
         ctx.placed = true;
+        char note[96];
+        std::snprintf(note, sizeof note, "hpwl=%.1f rows=%d iters=%d",
+                      pq.hpwl_um, ctx.area.num_rows, popts.solver_iterations);
+        ctx.stage_note = note;
     });
 
     add("legalize", nullptr, [](FlowContext& ctx) {
         const LegalizeResult lg = legalize(ctx.netlist, ctx.area);
-        if (ctx.params.sa_moves_per_cell > 0) {
+        ctx.result.legal = lg.success && is_legal(ctx.netlist, ctx.area);
+        ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
+        char note[128];
+        std::snprintf(note, sizeof note,
+                      "disp_total=%.1f disp_max=%.2f success=%d",
+                      lg.total_displacement_um, lg.max_displacement_um,
+                      lg.success ? 1 : 0);
+        ctx.stage_note = note;
+    });
+
+    // Detailed placement, promoted out of the legalize lambda into its own
+    // observable stage: batch-parallel SA refinement (docs/PLACE.md) whose
+    // result is byte-identical for any place_workers value.
+    add("sa_refine",
+        [](const FlowContext& ctx) { return ctx.params.sa_moves_per_cell > 0; },
+        [](FlowContext& ctx) {
             SaPlaceOptions sopts;
             sopts.moves_per_cell = ctx.params.sa_moves_per_cell;
             sopts.seed = ctx.params.seed;
-            sa_refine(ctx.netlist, ctx.area, sopts);
-        }
-        ctx.result.legal = lg.success && is_legal(ctx.netlist, ctx.area);
-        ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
-    });
+            sopts.workers = ctx.params.place_workers;
+            const SaPlaceResult sr = sa_refine(ctx.netlist, ctx.area, sopts);
+            ctx.result.legal = ctx.result.legal && is_legal(ctx.netlist, ctx.area);
+            ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
+            char note[160];
+            std::snprintf(note, sizeof note,
+                          "moves=%zu accepted=%zu workers=%d hpwl_delta=%.1f",
+                          sr.total_moves, sr.accepted_moves,
+                          ctx.params.place_workers,
+                          sr.final_hpwl_um - sr.initial_hpwl_um);
+            ctx.stage_note = note;
+        });
 
     // Chains restitched in placement order now that positions exist.
     add("scan_reorder",

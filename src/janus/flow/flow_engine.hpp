@@ -8,8 +8,8 @@
 /// results (E5: flow throughput is a farm property, not a single-run one).
 ///
 /// Pipeline (in order):
-///   optimize -> map -> scan_insert -> place -> legalize -> scan_reorder
-///   -> route -> cts -> sizing -> sta -> power
+///   optimize -> map -> scan_insert -> place -> legalize -> sa_refine
+///   -> scan_reorder -> route -> cts -> sizing -> sta -> power
 /// Stage applicability is data- and mask-driven (e.g. `optimize`/`map` run
 /// only for combinational designs, `scan_insert` only with
 /// FlowStageMask::Scan); inapplicable stages are recorded as skipped in

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "janus/place/net_bbox.hpp"
+
 namespace janus {
 
 CongestionMap estimate_congestion(const Netlist& nl, const PlacementArea& area,
@@ -27,19 +29,17 @@ CongestionMap estimate_congestion(const Netlist& nl, const PlacementArea& area,
         return std::min(n - 1, static_cast<std::size_t>(std::max(0.0, t)));
     };
 
+    // Net bounding boxes over placed pins, via the shared per-net cache
+    // (same structure the SA placer maintains incrementally; here it is
+    // built once and read out). Pads are excluded: congestion models
+    // cell-to-cell routing demand only.
+    NetBBoxOptions bopts;
+    bopts.with_pads = false;
+    bopts.placed_only = true;
+    const NetBBoxCache cache(nl, area, bopts);
     for (NetId n = 0; n < nl.num_nets(); ++n) {
-        // Net bounding box over placed pins.
-        std::vector<Point> pts;
-        const Net& net = nl.net(n);
-        if (net.driver_kind == DriverKind::Instance &&
-            nl.instance(net.driver_inst).placed) {
-            pts.push_back(nl.instance(net.driver_inst).position);
-        }
-        for (const SinkRef& s : nl.sinks(n)) {
-            if (nl.instance(s.inst).placed) pts.push_back(nl.instance(s.inst).position);
-        }
-        if (pts.size() < 2) continue;
-        const Rect bb = bounding_box(pts);
+        if (cache.degree(n) < 2) continue;
+        const Rect bb = cache.bbox(n);
         const std::size_t x0 =
             bin_index(static_cast<double>(bb.lo.x), static_cast<double>(area.die.lo.x), bin_w, opts.bins);
         const std::size_t x1 =

@@ -1,0 +1,206 @@
+#include "janus/place/net_bbox.hpp"
+
+#include <algorithm>
+
+namespace janus {
+namespace {
+
+/// O(1) min-boundary update for one relocated pin: removal then insertion.
+/// Returns false when the pin solely held the boundary and moved off it —
+/// the second-smallest coordinate is unknown, so the caller must rescan.
+bool shift_min(std::int64_t& m, std::uint32_t& c, std::int64_t from,
+               std::int64_t to) {
+    if (from == m) {
+        if (c == 1) {
+            if (to > m) return false;
+            m = to;
+            return true;
+        }
+        --c;
+    }
+    if (to < m) {
+        m = to;
+        c = 1;
+    } else if (to == m) {
+        ++c;
+    }
+    return true;
+}
+
+bool shift_max(std::int64_t& m, std::uint32_t& c, std::int64_t from,
+               std::int64_t to) {
+    if (from == m) {
+        if (c == 1) {
+            if (to < m) return false;
+            m = to;
+            return true;
+        }
+        --c;
+    }
+    if (to > m) {
+        m = to;
+        c = 1;
+    } else if (to == m) {
+        ++c;
+    }
+    return true;
+}
+
+}  // namespace
+
+NetBBoxCache::NetBBoxCache(const Netlist& nl, const PlacementArea& area,
+                           const NetBBoxOptions& opts)
+    : nl_(&nl),
+      box_(nl.num_nets()),
+      insts_(nl.num_nets()),
+      fixed_(nl.num_nets()),
+      nets_of_(nl.num_instances()) {
+    if (opts.with_pads) {
+        const std::size_t n_in = nl.primary_inputs().size();
+        const std::size_t n_out = nl.primary_outputs().size();
+        std::size_t k = 0;
+        for (const NetId pi : nl.primary_inputs()) {
+            fixed_[pi].push_back(input_pad_position(area.die, k++, n_in));
+        }
+        k = 0;
+        for (const auto& [name, net] : nl.primary_outputs()) {
+            (void)name;
+            fixed_[net].push_back(output_pad_position(area.die, k++, n_out));
+        }
+    }
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const Net& net = nl.net(n);
+        const auto add_inst = [&](InstId i) {
+            if (opts.placed_only && !nl.instance(i).placed) return;
+            insts_[n].push_back(i);
+        };
+        if (net.driver_kind == DriverKind::Instance) add_inst(net.driver_inst);
+        for (const SinkRef& s : nl.sinks(n)) add_inst(s.inst);
+        // Deduplicate: one bbox contribution per instance, or the boundary
+        // counts (and incremental deltas) would double-count multi-pin
+        // connections to the same cell.
+        std::sort(insts_[n].begin(), insts_[n].end());
+        insts_[n].erase(std::unique(insts_[n].begin(), insts_[n].end()),
+                        insts_[n].end());
+        // Nets visited in id order and each instance at most once per net,
+        // so nets_of_ comes out sorted and unique for free.
+        for (const InstId i : insts_[n]) nets_of_[i].push_back(n);
+        rescan(n);
+    }
+    rescans_ = 0;  // construction scans are not incremental-path rescans
+}
+
+void NetBBoxCache::rescan(NetId n) {
+    Box b;
+    bool first = true;
+    const auto acc = [&](const Point& p) {
+        if (first) {
+            b.minx = b.maxx = p.x;
+            b.miny = b.maxy = p.y;
+            b.n_minx = b.n_maxx = b.n_miny = b.n_maxy = 1;
+            first = false;
+            return;
+        }
+        if (p.x < b.minx) {
+            b.minx = p.x;
+            b.n_minx = 1;
+        } else if (p.x == b.minx) {
+            ++b.n_minx;
+        }
+        if (p.x > b.maxx) {
+            b.maxx = p.x;
+            b.n_maxx = 1;
+        } else if (p.x == b.maxx) {
+            ++b.n_maxx;
+        }
+        if (p.y < b.miny) {
+            b.miny = p.y;
+            b.n_miny = 1;
+        } else if (p.y == b.miny) {
+            ++b.n_miny;
+        }
+        if (p.y > b.maxy) {
+            b.maxy = p.y;
+            b.n_maxy = 1;
+        } else if (p.y == b.maxy) {
+            ++b.n_maxy;
+        }
+    };
+    for (const InstId i : insts_[n]) acc(nl_->instance(i).position);
+    for (const Point& p : fixed_[n]) acc(p);
+    box_[n] = b;  // pin-less nets keep the empty sentinel (maxx < minx)
+}
+
+Rect NetBBoxCache::bbox(NetId n) const {
+    const Box& b = box_[n];
+    if (degree(n) == 0) return Rect{};
+    return Rect{{b.minx, b.miny}, {b.maxx, b.maxy}};
+}
+
+double NetBBoxCache::net_hpwl_um(NetId n) const {
+    if (degree(n) < 2) return 0;
+    const Box& b = box_[n];
+    return static_cast<double>((b.maxx - b.minx) + (b.maxy - b.miny)) * 1e-3;
+}
+
+double NetBBoxCache::total_hpwl_um() const {
+    double total = 0;
+    for (NetId n = 0; n < box_.size(); ++n) total += net_hpwl_um(n);
+    return total;
+}
+
+double NetBBoxCache::hpwl_if_moved_um(NetId n, InstId moved, Point from,
+                                      Point to) const {
+    if (degree(n) < 2) return 0;
+    Box b = box_[n];
+    if (shift_min(b.minx, b.n_minx, from.x, to.x) &&
+        shift_max(b.maxx, b.n_maxx, from.x, to.x) &&
+        shift_min(b.miny, b.n_miny, from.y, to.y) &&
+        shift_max(b.maxy, b.n_maxy, from.y, to.y)) {
+        return static_cast<double>((b.maxx - b.minx) + (b.maxy - b.miny)) * 1e-3;
+    }
+    // Boundary-shrinking move: rescan the net's pins with the moved pin
+    // substituted (the netlist still holds the frozen `from` position).
+    std::int64_t minx = INT64_MAX, maxx = INT64_MIN;
+    std::int64_t miny = INT64_MAX, maxy = INT64_MIN;
+    const auto acc = [&](const Point& p) {
+        minx = std::min(minx, p.x);
+        maxx = std::max(maxx, p.x);
+        miny = std::min(miny, p.y);
+        maxy = std::max(maxy, p.y);
+    };
+    for (const InstId i : insts_[n]) {
+        acc(i == moved ? to : nl_->instance(i).position);
+    }
+    for (const Point& p : fixed_[n]) acc(p);
+    return static_cast<double>((maxx - minx) + (maxy - miny)) * 1e-3;
+}
+
+void NetBBoxCache::update_net(NetId n, Point from, Point to) {
+    if (from == to) return;
+    Box b = box_[n];
+    if (shift_min(b.minx, b.n_minx, from.x, to.x) &&
+        shift_max(b.maxx, b.n_maxx, from.x, to.x) &&
+        shift_min(b.miny, b.n_miny, from.y, to.y) &&
+        shift_max(b.maxy, b.n_maxy, from.y, to.y)) {
+        box_[n] = b;
+        return;
+    }
+    ++rescans_;
+    rescan(n);
+}
+
+void NetBBoxCache::apply_swap(InstId a, Point pa, InstId b, Point pb) {
+    const auto& na = nets_of_[a];
+    const auto& nb = nets_of_[b];
+    for (const NetId n : na) {
+        if (std::binary_search(nb.begin(), nb.end(), n)) continue;
+        update_net(n, pa, pb);
+    }
+    for (const NetId n : nb) {
+        if (std::binary_search(na.begin(), na.end(), n)) continue;
+        update_net(n, pb, pa);
+    }
+}
+
+}  // namespace janus

@@ -3,30 +3,43 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "janus/place/net_bbox.hpp"
 #include "janus/util/rng.hpp"
+#include "janus/util/thread_pool.hpp"
 
 namespace janus {
 namespace {
 
-struct NetGeom {
-    std::vector<InstId> insts;
-    std::vector<Point> fixed;
+/// One candidate swap: drawn serially, evaluated (possibly concurrently)
+/// against the batch-frozen cache, accepted serially in slot order.
+struct SwapMove {
+    InstId a = 0, b = 0;
+    std::size_t slot = 0;  ///< global move-slot index (drives the cooling clock)
+    Point pa, pb;          ///< batch-start positions
+    double delta_um = 0;   ///< pure function of the frozen cache + positions
 };
 
-double net_hpwl_um(const Netlist& nl, const NetGeom& g) {
-    if (g.insts.size() + g.fixed.size() < 2) return 0;
-    std::int64_t minx = INT64_MAX, maxx = INT64_MIN, miny = INT64_MAX, maxy = INT64_MIN;
-    const auto acc = [&](const Point& p) {
-        minx = std::min(minx, p.x);
-        maxx = std::max(maxx, p.x);
-        miny = std::min(miny, p.y);
-        maxy = std::max(maxy, p.y);
-    };
-    for (const InstId i : g.insts) acc(nl.instance(i).position);
-    for (const Point& p : g.fixed) acc(p);
-    return static_cast<double>((maxx - minx) + (maxy - miny)) * 1e-3;
+/// HPWL delta of swapping m.a and m.b, read-only against the frozen cache.
+/// Nets incident to both endpoints see an unchanged pin multiset under a
+/// swap, so only the symmetric difference of the two incidence sets
+/// contributes; those nets are net-disjoint from every other move in the
+/// batch, which is what makes batch deltas exactly additive.
+double swap_delta_um(const NetBBoxCache& cache, const SwapMove& m) {
+    double delta = 0;
+    const auto& na = cache.nets_of(m.a);
+    const auto& nb = cache.nets_of(m.b);
+    for (const NetId n : na) {
+        if (std::binary_search(nb.begin(), nb.end(), n)) continue;
+        delta += cache.hpwl_if_moved_um(n, m.a, m.pa, m.pb) - cache.net_hpwl_um(n);
+    }
+    for (const NetId n : nb) {
+        if (std::binary_search(na.begin(), na.end(), n)) continue;
+        delta += cache.hpwl_if_moved_um(n, m.b, m.pb, m.pa) - cache.net_hpwl_um(n);
+    }
+    return delta;
 }
 
 }  // namespace
@@ -34,43 +47,11 @@ double net_hpwl_um(const Netlist& nl, const NetGeom& g) {
 SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
                         const SaPlaceOptions& opts) {
     SaPlaceResult res;
-    Rng rng(opts.seed);
 
-    // Net geometry and instance->net incidence.
-    std::vector<NetGeom> nets(nl.num_nets());
-    const std::size_t n_in = nl.primary_inputs().size();
-    const std::size_t n_out = nl.primary_outputs().size();
-    std::size_t k = 0;
-    for (const NetId pi : nl.primary_inputs()) {
-        nets[pi].fixed.push_back(input_pad_position(area.die, k++, n_in));
-    }
-    k = 0;
-    for (const auto& [name, net] : nl.primary_outputs()) {
-        (void)name;
-        nets[net].fixed.push_back(output_pad_position(area.die, k++, n_out));
-    }
-    std::vector<std::vector<NetId>> nets_of(nl.num_instances());
-    for (InstId i = 0; i < nl.num_instances(); ++i) {
-        const Instance& inst = nl.instance(i);
-        nets[inst.output].insts.push_back(i);
-        nets_of[i].push_back(inst.output);
-        const int arity = function_arity(nl.type_of(i).function);
-        for (int p = 0; p < arity; ++p) {
-            const NetId n = inst.fanin[static_cast<std::size_t>(p)];
-            if (n == kNoNet) continue;
-            nets[n].insts.push_back(i);
-            nets_of[i].push_back(n);
-        }
-        // Deduplicate: a net must appear once per instance or the
-        // incremental delta would double-count it.
-        std::sort(nets_of[i].begin(), nets_of[i].end());
-        nets_of[i].erase(std::unique(nets_of[i].begin(), nets_of[i].end()),
-                         nets_of[i].end());
-    }
-
-    double hpwl = 0;
-    for (const NetGeom& g : nets) hpwl += net_hpwl_um(nl, g);
-    res.initial_hpwl_um = hpwl;
+    NetBBoxCache cache(nl, area);
+    res.initial_hpwl_um = cache.total_hpwl_um();
+    res.final_hpwl_um = res.initial_hpwl_um;
+    res.accumulated_hpwl_um = res.initial_hpwl_um;
 
     // Cells grouped by width in sites: swaps stay legal within a group.
     std::map<std::int64_t, std::vector<InstId>> by_width;
@@ -83,55 +64,141 @@ SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
     for (auto& [w, g] : by_width) {
         if (g.size() >= 2) groups.push_back(std::move(g));
     }
-    if (groups.empty()) {
-        res.final_hpwl_um = hpwl;
-        return res;
-    }
+    if (groups.empty()) return res;
 
-    const std::size_t total_moves =
+    const std::size_t total_slots =
         static_cast<std::size_t>(opts.moves_per_cell) * nl.num_instances();
-    const std::size_t chunk = std::max<std::size_t>(1, total_moves / 60);
+    const std::size_t chunk = std::max<std::size_t>(1, total_slots / 60);
     double temp = opts.initial_temp_frac *
-                  (hpwl / std::max<std::size_t>(1, nl.num_nets()));
+                  (res.initial_hpwl_um /
+                   static_cast<double>(std::max<std::size_t>(1, nl.num_nets())));
+    double accumulated = res.initial_hpwl_um;
 
-    const auto affected_delta = [&](InstId a, InstId b, double& before) {
-        before = 0;
-        for (const NetId n : nets_of[a]) before += net_hpwl_um(nl, nets[n]);
-        for (const NetId n : nets_of[b]) {
-            // Avoid double counting shared nets.
-            bool shared = false;
-            for (const NetId m : nets_of[a]) {
-                if (m == n) {
-                    shared = true;
-                    break;
-                }
-            }
-            if (!shared) before += net_hpwl_um(nl, nets[n]);
+    // Independent streams for candidate draws and acceptance, derived from
+    // the run seed: the candidate sequence is a pure function of the seed,
+    // never of accept/reject history or worker scheduling.
+    Rng draw_rng(mix_seed(opts.seed, 0));
+    Rng accept_rng(mix_seed(opts.seed, 1));
+
+    const int workers = std::max(1, opts.workers);
+    const std::size_t batch_cap =
+        static_cast<std::size_t>(std::max(1, opts.batch_moves));
+    std::unique_ptr<ThreadPool> pool;
+    if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+
+    // Net-claim stamps: a candidate touching a net already claimed by the
+    // current batch closes the batch and carries over as the first member
+    // of the next one, so every batch is net-disjoint and its deltas are
+    // exactly additive.
+    std::vector<std::uint32_t> claim(nl.num_nets(), 0);
+    std::uint32_t epoch = 0;
+    const auto conflicts = [&](const SwapMove& m) {
+        for (const NetId n : cache.nets_of(m.a)) {
+            if (claim[n] == epoch) return true;
         }
+        for (const NetId n : cache.nets_of(m.b)) {
+            if (claim[n] == epoch) return true;
+        }
+        return false;
+    };
+    const auto claim_move = [&](const SwapMove& m) {
+        for (const NetId n : cache.nets_of(m.a)) claim[n] = epoch;
+        for (const NetId n : cache.nets_of(m.b)) claim[n] = epoch;
     };
 
-    for (std::size_t move = 0; move < total_moves; ++move) {
-        if (move % chunk == chunk - 1) temp *= opts.cooling;
-        auto& group = groups[rng.pick_index(groups.size())];
-        const InstId a = group[rng.pick_index(group.size())];
-        const InstId b = group[rng.pick_index(group.size())];
-        if (a == b) continue;
-        ++res.total_moves;
+    constexpr int kMaxPartnerDraws = 8;
+    std::vector<SwapMove> batch;
+    batch.reserve(batch_cap);
+    SwapMove carry;
+    bool have_carry = false;
+    std::size_t slot = 0;    // generation cursor over move slots
+    std::size_t cooled = 0;  // cooling cursor (slots whose decay has applied)
 
-        double before = 0;
-        affected_delta(a, b, before);
-        std::swap(nl.instance(a).position, nl.instance(b).position);
-        double after = 0;
-        affected_delta(a, b, after);
-        const double delta = after - before;
-        if (delta <= 0 || rng.next_double() < std::exp(-delta / std::max(1e-12, temp))) {
-            hpwl += delta;
-            ++res.accepted_moves;
+    while (slot < total_slots || have_carry) {
+        batch.clear();
+        ++epoch;
+        if (have_carry) {
+            claim_move(carry);
+            batch.push_back(carry);
+            have_carry = false;
+        }
+        while (batch.size() < batch_cap && slot < total_slots) {
+            auto& group = groups[draw_rng.pick_index(groups.size())];
+            const InstId a = group[draw_rng.pick_index(group.size())];
+            // A self-swap is not a move: redraw the partner (bounded) so a
+            // degenerate draw no longer burns a cooling-schedule slot as if
+            // a move had been attempted.
+            InstId b = a;
+            for (int t = 0; t < kMaxPartnerDraws && b == a; ++t) {
+                ++res.attempted_draws;
+                b = group[draw_rng.pick_index(group.size())];
+                if (b == a) ++res.degenerate_draws;
+            }
+            const std::size_t s = slot++;
+            if (b == a) continue;  // redraw budget exhausted (tiny groups)
+            SwapMove m;
+            m.a = a;
+            m.b = b;
+            m.slot = s;
+            if (conflicts(m)) {
+                ++res.batch_conflicts;
+                carry = m;
+                have_carry = true;
+                break;
+            }
+            claim_move(m);
+            batch.push_back(m);
+        }
+        if (batch.empty()) continue;
+        ++res.batches;
+
+        // Freeze batch-start positions, then evaluate deltas against the
+        // unmutated cache. Each task writes only its own moves' delta_um
+        // and every delta is a pure function of (cache, positions), so the
+        // values — and everything downstream — cannot depend on worker
+        // count or scheduling.
+        for (SwapMove& m : batch) {
+            m.pa = nl.instance(m.a).position;
+            m.pb = nl.instance(m.b).position;
+        }
+        if (pool && batch.size() > 1) {
+            const std::size_t tasks = std::min(pool->size(), batch.size());
+            const std::size_t per = (batch.size() + tasks - 1) / tasks;
+            pool->for_each_index(tasks, [&](std::size_t t) {
+                const std::size_t lo = t * per;
+                const std::size_t hi = std::min(batch.size(), lo + per);
+                for (std::size_t k = lo; k < hi; ++k) {
+                    batch[k].delta_um = swap_delta_um(cache, batch[k]);
+                }
+            });
         } else {
-            std::swap(nl.instance(a).position, nl.instance(b).position);
+            for (SwapMove& m : batch) m.delta_um = swap_delta_um(cache, m);
+        }
+
+        // Serial accept/reject in slot order: the temperature decay and the
+        // acceptance RNG stream advance exactly as they would move by move.
+        for (const SwapMove& m : batch) {
+            while (cooled <= m.slot) {
+                if (cooled % chunk == chunk - 1) temp *= opts.cooling;
+                ++cooled;
+            }
+            ++res.total_moves;
+            const bool accept =
+                m.delta_um <= 0 ||
+                accept_rng.next_double() <
+                    std::exp(-m.delta_um / std::max(1e-12, temp));
+            if (!accept) continue;
+            std::swap(nl.instance(m.a).position, nl.instance(m.b).position);
+            cache.apply_swap(m.a, m.pa, m.b, m.pb);
+            accumulated += m.delta_um;
+            ++res.accepted_moves;
         }
     }
-    res.final_hpwl_um = hpwl;
+
+    res.accumulated_hpwl_um = accumulated;
+    // The cache's integer bounds are exact, so this is the true HPWL — the
+    // old per-move double accumulation is demoted to a diagnostic above.
+    res.final_hpwl_um = cache.total_hpwl_um();
     return res;
 }
 

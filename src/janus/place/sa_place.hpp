@@ -1,8 +1,14 @@
 #pragma once
 /// \file sa_place.hpp
-/// Simulated-annealing detailed placement: swap/relocate moves over a
+/// Simulated-annealing detailed placement: equal-width cell swaps over a
 /// legal placement, accepting on HPWL. The quality-oriented complement to
 /// the analytic flow; also an ablation point (E6 tunes its schedule).
+///
+/// Moves are drawn serially, grouped into net-disjoint batches, evaluated
+/// (possibly concurrently, `workers`) against the batch-frozen NetBBoxCache,
+/// and accepted/rejected serially in draw order — so SaPlaceResult and the
+/// final placement are byte-identical for any worker count
+/// (docs/PLACE.md, same contract as route_workers/sta_workers).
 
 #include <cstdint>
 
@@ -11,25 +17,42 @@
 namespace janus {
 
 struct SaPlaceOptions {
-    int moves_per_cell = 50;     ///< total moves = this * num cells
+    int moves_per_cell = 50;     ///< total move slots = this * num cells
     double initial_temp_frac = 0.05;  ///< T0 as a fraction of initial HPWL/net
     double cooling = 0.95;
     std::uint64_t seed = 1;
+    /// Threads evaluating one batch's move deltas (flow knob:
+    /// FlowParams::place_workers). A pure performance knob: results are
+    /// byte-identical for any value; 1 = serial.
+    int workers = 1;
+    /// Upper bound on moves per net-disjoint batch. Part of the schedule
+    /// (it bounds how far evaluation runs ahead of acceptance), unlike
+    /// `workers` which never affects results.
+    int batch_moves = 128;
 };
 
 struct SaPlaceResult {
     double initial_hpwl_um = 0;
+    /// Exact final HPWL, recomputed from the cache's integer bounds at
+    /// exit — never the floating-point accumulation of per-move deltas.
     double final_hpwl_um = 0;
+    /// initial_hpwl_um plus every accepted delta: the drift-prone value the
+    /// pre-cache implementation used to return, kept as a diagnostic and
+    /// pinned to final_hpwl_um within 1e-6 relative by tests.
+    double accumulated_hpwl_um = 0;
     std::size_t accepted_moves = 0;
-    std::size_t total_moves = 0;
+    std::size_t total_moves = 0;       ///< moves evaluated (degenerates excluded)
+    std::size_t attempted_draws = 0;   ///< partner draws, including redraws
+    std::size_t degenerate_draws = 0;  ///< a == b draws (redrawn, bounded)
+    std::size_t batches = 0;           ///< evaluation batches executed
+    std::size_t batch_conflicts = 0;   ///< draws deferred to the next batch
     double improvement() const {
         return initial_hpwl_um > 0 ? 1.0 - final_hpwl_um / initial_hpwl_um : 0.0;
     }
 };
 
-/// Refines a legal placement with cell-swap annealing; the placement
-/// stays legal (swaps exchange row slots of equal-width cells, relocations
-/// use vacant sites of sufficient width).
+/// Refines a legal placement with cell-swap annealing; the placement stays
+/// legal (swaps exchange row slots between cells of equal site width).
 SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
                         const SaPlaceOptions& opts = {});
 
