@@ -1,0 +1,188 @@
+/// E1 (Domic) follow-up: after QoR, synthesis *throughput*. The refactoring
+/// pass is an eval-parallel / commit-serial engine (docs/SYNTH.md): per-cut
+/// truth tables, memoized Espresso covers and candidate estimates evaluate
+/// concurrently per topological level against the frozen AIG, while the
+/// replacement commits stay serial in node order — so the output is
+/// byte-identical for any worker count and with the SOP memo cache on or
+/// off. Table: refactor wall time at 1/2/4/8 workers on a ~60k-AND
+/// generator design, the memo cache's measured Espresso-call reduction,
+/// and the MFFC work counters that retire the historical O(n^2) refcount
+/// copies. The >= 2x @ 4 workers check is gated on
+/// hardware_concurrency() >= 4 like the route/place benches.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "janus/logic/aig.hpp"
+#include "janus/logic/aig_rewrite.hpp"
+#include "janus/logic/sop_cache.hpp"
+
+using namespace janus;
+
+namespace {
+
+/// Full structural serialization; equal strings == byte-identical AIGs.
+std::string serialize(const Aig& aig) {
+    std::ostringstream os;
+    os << aig.num_nodes() << ';';
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+        if (!aig.is_and(n)) continue;
+        os << n << ':' << aig.fanin0(n) << ',' << aig.fanin1(n) << ';';
+    }
+    for (const auto& [name, lit] : aig.outputs()) os << name << '=' << lit << ';';
+    return os.str();
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("E1 bench_synth_parallel", "Antun Domic (Synopsys)",
+                  "deterministic eval-parallel + memoized logic refactoring "
+                  "inside one synthesis job");
+    const auto lib = bench::make_lib();
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("hardware_concurrency: %u\n\n", hw);
+
+    // ~60k-AND irregular design: random generator (not the mesh) so the cut
+    // function population is diverse and the memo cache is honestly loaded.
+    GeneratorConfig cfg;
+    cfg.num_inputs = 96;
+    cfg.num_outputs = 64;
+    cfg.num_gates = 50000;
+    cfg.xor_fraction = 0.25;
+    cfg.seed = 7;
+    const Aig aig = Aig::from_netlist(generate_random(lib, cfg)).cleanup();
+    std::printf("design: %zu AND nodes, %zu inputs, depth %d\n\n",
+                aig.num_ands(), aig.num_inputs(), aig.depth());
+
+    // --- refactor wall time vs workers, cold memo cache per run -----------
+    std::string base_ser;
+    RewriteStats base_stats;
+    double serial_ms = 0, four_ms = 0;
+    bool all_identical = true;
+    std::printf("%8s %11s %12s %10s %10s %8s %7s\n", "workers", "refactor_ms",
+                "cuts", "memo_hits", "espresso", "replaced", "speedup");
+    for (const int workers : {1, 2, 4, 8}) {
+        RewriteOptions opts;
+        opts.workers = workers;
+        RewriteStats rs;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Aig out = refactor(aig, opts, &rs);
+        const double ms = ms_since(t0);
+        std::printf("%8d %11.0f %12llu %10llu %10llu %8d %6.2fx\n", workers, ms,
+                    static_cast<unsigned long long>(rs.cuts_evaluated),
+                    static_cast<unsigned long long>(rs.memo_hits),
+                    static_cast<unsigned long long>(rs.espresso_calls),
+                    rs.replacements, workers == 1 ? 1.0 : serial_ms / ms);
+        if (workers == 1) {
+            serial_ms = ms;
+            base_stats = rs;
+            base_ser = serialize(out);
+        } else {
+            all_identical &= serialize(out) == base_ser;
+        }
+        if (workers == 4) four_ms = ms;
+    }
+
+    // --- memo cache ablation: identical QoR, fewer Espresso runs ----------
+    RewriteOptions no_memo;
+    no_memo.use_sop_cache = false;
+    no_memo.workers = 4;
+    RewriteStats off_stats;
+    auto t0 = std::chrono::steady_clock::now();
+    const Aig out_off = refactor(aig, no_memo, &off_stats);
+    const double memo_off_ms = ms_since(t0);
+    RewriteOptions with_memo = no_memo;
+    with_memo.use_sop_cache = true;
+    RewriteStats on_stats;
+    t0 = std::chrono::steady_clock::now();
+    const Aig out_on = refactor(aig, with_memo, &on_stats);
+    const double memo_on_ms = ms_since(t0);
+    const bool memo_identical = serialize(out_on) == serialize(out_off);
+    const double queries =
+        static_cast<double>(on_stats.memo_hits + on_stats.memo_misses);
+    const double reduction =
+        queries / static_cast<double>(on_stats.espresso_calls);
+    std::printf("\nmemo cache @4w:   off %.0f ms / %llu espresso calls, "
+                "on %.0f ms / %llu calls (%.1fx fewer, hit rate %.1f%%)\n",
+                memo_off_ms,
+                static_cast<unsigned long long>(off_stats.espresso_calls),
+                memo_on_ms,
+                static_cast<unsigned long long>(on_stats.espresso_calls),
+                reduction, 100.0 * static_cast<double>(on_stats.memo_hits) /
+                               queries);
+
+    // --- MFFC work: incremental trial-deref vs historical refcount copies -
+    MffcStats mffc;
+    t0 = std::chrono::steady_clock::now();
+    const auto sizes = mffc_sizes(aig, &mffc);
+    const double mffc_ms = ms_since(t0);
+    const double old_copy_work = static_cast<double>(aig.num_ands()) *
+                                 static_cast<double>(aig.num_nodes());
+    const double mffc_work =
+        static_cast<double>(mffc.cone_visits + mffc.scratch_writes);
+    std::printf("mffc:             %.0f ms, %llu cone visits + %llu scratch "
+                "writes vs %.2e old per-node array copies (%.0fx less work)\n",
+                mffc_ms, static_cast<unsigned long long>(mffc.cone_visits),
+                static_cast<unsigned long long>(mffc.scratch_writes),
+                old_copy_work, old_copy_work / mffc_work);
+    (void)sizes;
+
+    {
+        char payload[640];
+        std::snprintf(
+            payload, sizeof payload,
+            "{\"ands\": %zu, \"refactor_ms_1w\": %.0f, \"refactor_ms_4w\": "
+            "%.0f, \"speedup_4w\": %.2f, \"cuts_evaluated\": %llu, "
+            "\"memo_hits\": %llu, \"memo_misses\": %llu, \"espresso_calls\": "
+            "%llu, \"espresso_calls_no_memo\": %llu, \"espresso_reduction\": "
+            "%.2f, \"memo_on_ms_4w\": %.0f, \"memo_off_ms_4w\": %.0f, "
+            "\"mffc_cone_visits\": %llu, \"mffc_scratch_writes\": %llu, "
+            "\"mffc_old_copy_work\": %.3e}",
+            aig.num_ands(), serial_ms, four_ms, serial_ms / four_ms,
+            static_cast<unsigned long long>(base_stats.cuts_evaluated),
+            static_cast<unsigned long long>(on_stats.memo_hits),
+            static_cast<unsigned long long>(on_stats.memo_misses),
+            static_cast<unsigned long long>(on_stats.espresso_calls),
+            static_cast<unsigned long long>(off_stats.espresso_calls),
+            reduction, memo_on_ms, memo_off_ms,
+            static_cast<unsigned long long>(mffc.cone_visits),
+            static_cast<unsigned long long>(mffc.scratch_writes),
+            old_copy_work);
+        bench::write_json_entry("BENCH_synth.json", "synth_parallel", payload);
+        std::printf("\nwrote BENCH_synth.json entry synth_parallel\n");
+    }
+
+    std::printf("\npaper claim: the last decade's synthesis gains came with "
+                "runtime\nheadroom — intra-pass parallelism and memoization "
+                "keep the optimize\nstage off the flow's critical path\n\n");
+    bench::shape_check("refactoring byte-identical at 2/4/8 workers",
+                       all_identical);
+    bench::shape_check("memo cache on/off byte-identical QoR", memo_identical);
+    bench::shape_check("memo cache cut Espresso calls (reduction >= 1.5x)",
+                       reduction >= 1.5 &&
+                           on_stats.espresso_calls < off_stats.espresso_calls);
+    bench::shape_check("mffc incremental work < 1/10 of old refcount copies",
+                       mffc_work < old_copy_work / 10.0);
+    if (hw >= 4) {
+        bench::shape_check("4 workers cut refactor wall time >= 2x",
+                           serial_ms / four_ms >= 2.0);
+    } else {
+        std::printf(
+            "NOTE: only %u hardware thread(s) visible — the >= 2x @ 4 workers "
+            "check needs >= 4 cores and is skipped here (byte-identity above "
+            "is the correctness half of the claim).\n",
+            hw);
+    }
+    return 0;
+}

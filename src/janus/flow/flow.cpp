@@ -12,6 +12,8 @@ std::string FlowParams::check() const {
         err << "utilization must be in (0, 1], got " << utilization;
     } else if (optimize_rounds < 0) {
         err << "optimize_rounds must be >= 0, got " << optimize_rounds;
+    } else if (opt_workers <= 0) {
+        err << "opt_workers must be > 0 (1 = serial), got " << opt_workers;
     } else if (placer_iterations <= 0) {
         err << "placer_iterations must be > 0, got " << placer_iterations;
     } else if (sa_moves_per_cell < 0) {

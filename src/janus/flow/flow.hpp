@@ -47,6 +47,10 @@ constexpr bool has_stage(FlowStageMask mask, FlowStageMask bit) {
 /// Tunable flow parameters (the knobs a methodology team sweeps).
 struct FlowParams {
     int optimize_rounds = 3;       ///< AIG balance/refactor rounds
+    /// Threads for the synthesis front end: eval-parallel refactoring and
+    /// level-parallel technology matching (docs/SYNTH.md). Output is
+    /// byte-identical for any value; 1 = serial.
+    int opt_workers = 1;
     double utilization = 0.65;
     int placer_iterations = 250;   ///< analytic CG solver iterations
     int sa_moves_per_cell = 0;     ///< 0 disables detailed placement

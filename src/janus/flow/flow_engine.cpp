@@ -85,14 +85,31 @@ FlowEngine::FlowEngine() {
         [](const FlowContext& ctx) { return !is_sequential(ctx); },
         [](FlowContext& ctx) {
             ctx.aig = std::make_unique<Aig>(Aig::from_netlist(ctx.netlist));
-            *ctx.aig = optimize(*ctx.aig, ctx.params.optimize_rounds);
+            RewriteOptions ropts;
+            ropts.workers = ctx.params.opt_workers;
+            RewriteStats rs;
+            *ctx.aig = optimize(*ctx.aig, ctx.params.optimize_rounds, ropts, &rs);
+            ctx.stage_note =
+                "cuts=" + std::to_string(rs.cuts_evaluated) +
+                " memo_hits=" + std::to_string(rs.memo_hits) +
+                " memo_misses=" + std::to_string(rs.memo_misses) +
+                " espresso=" + std::to_string(rs.espresso_calls) +
+                " replacements=" + std::to_string(rs.replacements) +
+                " workers=" + std::to_string(rs.workers);
         });
 
     add("map",
         [](const FlowContext& ctx) { return ctx.aig != nullptr; },
         [](FlowContext& ctx) {
-            ctx.netlist = tech_map(*ctx.aig, ctx.netlist.library_ptr());
+            TechMapOptions mopts;
+            mopts.workers = ctx.params.opt_workers;
+            TechMapStats ms;
+            ctx.netlist =
+                tech_map(*ctx.aig, ctx.netlist.library_ptr(), mopts, &ms);
             ctx.aig.reset();
+            ctx.stage_note = "cuts=" + std::to_string(ms.cuts_evaluated) +
+                             " matched=" + std::to_string(ms.matched_cuts) +
+                             " workers=" + std::to_string(ms.workers);
         });
 
     // DFT insertion runs before placement so scan flops exist in the layout.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "janus/util/thread_pool.hpp"
 
 namespace janus {
 namespace {
@@ -44,94 +46,157 @@ bool merge_leaves(const std::vector<std::uint32_t>& a,
     return true;
 }
 
+/// Computes node n's full cut list from its fanins' (already complete)
+/// lists. Pure per node given those inputs, which is what makes the
+/// level-parallel sweep deterministic.
+void compute_node_cuts(const Aig& aig, const CutEnumOptions& opts, CutSet& cs,
+                       std::uint32_t n, std::vector<std::uint32_t>& merged) {
+    auto& node_cuts = cs.cuts[n];
+    // Trivial cut first.
+    Cut triv;
+    triv.leaves = {n};
+    triv.signature = signature_of(triv.leaves);
+    node_cuts.push_back(std::move(triv));
+    if (!aig.is_and(n)) return;
+
+    const std::uint32_t f0 = aig_node(aig.fanin0(n));
+    const std::uint32_t f1 = aig_node(aig.fanin1(n));
+    for (const Cut& c0 : cs.cuts[f0]) {
+        for (const Cut& c1 : cs.cuts[f1]) {
+            if (!merge_leaves(c0.leaves, c1.leaves, opts.max_leaves, merged)) {
+                continue;
+            }
+            Cut cand;
+            cand.leaves = merged;
+            cand.signature = signature_of(cand.leaves);
+            // Dominance filtering against existing cuts.
+            bool dominated = false;
+            for (const Cut& ex : node_cuts) {
+                if (!ex.trivial() && dominates(ex, cand)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (dominated) continue;
+            std::erase_if(node_cuts, [&](const Cut& ex) {
+                return !ex.trivial() && dominates(cand, ex);
+            });
+            // Exact cap, trivial cut included: the list never exceeds
+            // max_cuts_per_node (the old `<=` guard let it reach max + 1).
+            if (static_cast<int>(node_cuts.size()) < opts.max_cuts_per_node) {
+                node_cuts.push_back(std::move(cand));
+            }
+        }
+    }
+}
+
 }  // namespace
 
 CutSet enumerate_cuts(const Aig& aig, const CutEnumOptions& opts) {
     CutSet cs;
     cs.cuts.resize(aig.num_nodes());
-    std::vector<std::uint32_t> merged;
-    for (const std::uint32_t n : aig.topological_order()) {
-        auto& node_cuts = cs.cuts[n];
-        // Trivial cut first.
-        Cut triv;
-        triv.leaves = {n};
-        triv.signature = signature_of(triv.leaves);
-        node_cuts.push_back(triv);
-        if (!aig.is_and(n)) continue;
+    const int workers = std::max(1, opts.workers);
 
-        const std::uint32_t f0 = aig_node(aig.fanin0(n));
-        const std::uint32_t f1 = aig_node(aig.fanin1(n));
-        for (const Cut& c0 : cs.cuts[f0]) {
-            for (const Cut& c1 : cs.cuts[f1]) {
-                if (!merge_leaves(c0.leaves, c1.leaves, opts.max_leaves, merged)) {
-                    continue;
-                }
-                Cut cand;
-                cand.leaves = merged;
-                cand.signature = signature_of(cand.leaves);
-                // Dominance filtering against existing cuts.
-                bool dominated = false;
-                for (const Cut& ex : node_cuts) {
-                    if (!ex.trivial() && dominates(ex, cand)) {
-                        dominated = true;
-                        break;
-                    }
-                }
-                if (dominated) continue;
-                std::erase_if(node_cuts, [&](const Cut& ex) {
-                    return !ex.trivial() && dominates(cand, ex);
-                });
-                if (static_cast<int>(node_cuts.size()) <= opts.max_cuts_per_node) {
-                    node_cuts.push_back(std::move(cand));
-                }
-            }
+    if (workers == 1) {
+        std::vector<std::uint32_t> merged;
+        for (const std::uint32_t n : aig.topological_order()) {
+            compute_node_cuts(aig, opts, cs, n, merged);
         }
+        return cs;
+    }
+
+    // Level-parallel sweep: a node's cuts depend only on its fanins, which
+    // sit on strictly lower levels, so each level is an independent batch
+    // evaluated concurrently and written into per-node slots (the in-order
+    // merge is positional — no ordering races).
+    const std::vector<int> levels = aig.levels();
+    int max_level = 0;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+        max_level = std::max(max_level, levels[n]);
+    }
+    std::vector<std::vector<std::uint32_t>> by_level(
+        static_cast<std::size_t>(max_level) + 1);
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+        by_level[static_cast<std::size_t>(levels[n])].push_back(n);
+    }
+
+    ThreadPool pool(workers);
+    for (const auto& nodes : by_level) {
+        if (nodes.empty()) continue;
+        const std::size_t chunks =
+            std::min(nodes.size(), static_cast<std::size_t>(workers));
+        pool.for_each_index(chunks, [&](std::size_t c) {
+            std::vector<std::uint32_t> merged;
+            for (std::size_t i = c; i < nodes.size(); i += chunks) {
+                compute_node_cuts(aig, opts, cs, nodes[i], merged);
+            }
+        });
     }
     return cs;
 }
 
-TruthTable cut_truth_table(const Aig& aig, std::uint32_t root, const Cut& cut) {
+// ------------------------------------------------------ cone evaluation
+
+CutConeEvaluator::CutConeEvaluator(const Aig& aig)
+    : aig_(aig),
+      slot_(aig.num_nodes(), 0),
+      stamp_(aig.num_nodes(), 0) {}
+
+TruthTable CutConeEvaluator::evaluate(std::uint32_t root, const Cut& cut) {
     const int k = static_cast<int>(cut.leaves.size());
     if (k > 16) throw std::invalid_argument("cut_truth_table: cut too large");
-    // Local evaluation of the cone between leaves and root.
-    std::unordered_map<std::uint32_t, TruthTable> tt;
+    ++epoch_;
+    tables_.clear();
     for (int i = 0; i < k; ++i) {
-        tt.emplace(cut.leaves[static_cast<std::size_t>(i)], TruthTable::variable(k, i));
+        const std::uint32_t leaf = cut.leaves[static_cast<std::size_t>(i)];
+        slot_[leaf] = static_cast<std::uint32_t>(tables_.size());
+        stamp_[leaf] = epoch_;
+        tables_.push_back(TruthTable::variable(k, i));
     }
-    // Recursive evaluation with an explicit stack.
-    std::vector<std::uint32_t> stack{root};
-    while (!stack.empty()) {
-        const std::uint32_t n = stack.back();
-        if (tt.count(n)) {
-            stack.pop_back();
-            continue;
-        }
-        if (!aig.is_and(n)) {
-            // Constant node reached below the leaves.
+    if (stamp_[root] == epoch_) return tables_[slot_[root]];  // trivial cut
+
+    // Collect the cone between leaves and root, then evaluate it in index
+    // order (AIG indices are topological, so sorting ascending is a valid
+    // schedule and fanins always resolve to an earlier slot).
+    cone_.clear();
+    stack_.clear();
+    stack_.push_back(root);
+    while (!stack_.empty()) {
+        const std::uint32_t n = stack_.back();
+        stack_.pop_back();
+        if (stamp_[n] == epoch_) continue;  // leaf or already collected
+        if (!aig_.is_and(n)) {
             if (n == 0) {
-                tt.emplace(n, TruthTable::constant(k, false));
-                stack.pop_back();
+                // Constant node reached below the leaves.
+                slot_[n] = static_cast<std::uint32_t>(tables_.size());
+                stamp_[n] = epoch_;
+                tables_.push_back(TruthTable::constant(k, false));
                 continue;
             }
             throw std::logic_error("cut_truth_table: leaf set does not cover cone");
         }
-        const std::uint32_t f0 = aig_node(aig.fanin0(n));
-        const std::uint32_t f1 = aig_node(aig.fanin1(n));
-        const bool have0 = tt.count(f0) > 0;
-        const bool have1 = tt.count(f1) > 0;
-        if (have0 && have1) {
-            const TruthTable a =
-                aig_is_complement(aig.fanin0(n)) ? ~tt.at(f0) : tt.at(f0);
-            const TruthTable b =
-                aig_is_complement(aig.fanin1(n)) ? ~tt.at(f1) : tt.at(f1);
-            tt.emplace(n, a & b);
-            stack.pop_back();
-        } else {
-            if (!have0) stack.push_back(f0);
-            if (!have1) stack.push_back(f1);
-        }
+        stamp_[n] = epoch_;
+        cone_.push_back(n);
+        stack_.push_back(aig_node(aig_.fanin0(n)));
+        stack_.push_back(aig_node(aig_.fanin1(n)));
     }
-    return tt.at(root);
+    std::sort(cone_.begin(), cone_.end());
+    for (const std::uint32_t n : cone_) {
+        const AigLit l0 = aig_.fanin0(n);
+        const AigLit l1 = aig_.fanin1(n);
+        const TruthTable a = aig_is_complement(l0) ? ~tables_[slot_[aig_node(l0)]]
+                                                   : tables_[slot_[aig_node(l0)]];
+        const TruthTable b = aig_is_complement(l1) ? ~tables_[slot_[aig_node(l1)]]
+                                                   : tables_[slot_[aig_node(l1)]];
+        slot_[n] = static_cast<std::uint32_t>(tables_.size());
+        tables_.push_back(a & b);
+    }
+    return tables_[slot_[root]];
+}
+
+TruthTable cut_truth_table(const Aig& aig, std::uint32_t root, const Cut& cut) {
+    CutConeEvaluator evaluator(aig);
+    return evaluator.evaluate(root, cut);
 }
 
 }  // namespace janus

@@ -27,15 +27,50 @@ struct CutSet {
 };
 
 struct CutEnumOptions {
-    int max_leaves = 4;     ///< K
+    int max_leaves = 4;  ///< K
+    /// Exact cap on the cuts stored per node, *including* the leading
+    /// trivial cut (so at most max_cuts_per_node - 1 non-trivial cuts
+    /// survive). The list never exceeds this size at any point.
     int max_cuts_per_node = 8;
+    /// Threads for the level-parallel enumeration sweep. Each node's cut
+    /// set is a pure function of its fanins' (lower-level, frozen) cut
+    /// sets, so the result is identical for any value; 1 = serial.
+    int workers = 1;
 };
 
-/// Enumerates K-feasible cuts bottom-up with dominance pruning.
+/// Enumerates K-feasible cuts bottom-up with dominance pruning. Nodes on
+/// the same topological level are processed concurrently (`opts.workers`)
+/// and merged in node-index order; output is byte-identical for any
+/// worker count.
 CutSet enumerate_cuts(const Aig& aig, const CutEnumOptions& opts = {});
 
-/// Truth table of `root` as a function of cut leaves (leaf i of the
-/// sorted list is variable i). Cut size must be <= 16.
+/// Reusable scratch for cut-function evaluation. Replaces the historical
+/// per-call `unordered_map<node, TruthTable>` with flat cone-indexed
+/// vectors: an epoch-stamped node->slot array (O(1) reset between cuts)
+/// plus a dense table vector ordered leaves-first. Construct once per
+/// worker and call `evaluate` per cut; instances are not thread-safe but
+/// independent instances may run concurrently on one shared Aig.
+class CutConeEvaluator {
+  public:
+    explicit CutConeEvaluator(const Aig& aig);
+
+    /// Truth table of `root` as a function of the cut leaves (leaf i of
+    /// the sorted list is variable i). Cut size must be <= 16. Throws
+    /// std::logic_error if the leaf set does not cover the cone.
+    TruthTable evaluate(std::uint32_t root, const Cut& cut);
+
+  private:
+    const Aig& aig_;
+    std::vector<std::uint32_t> slot_;   ///< node -> index into tables_
+    std::vector<std::uint32_t> stamp_;  ///< slot_[n] valid iff stamp_[n] == epoch_
+    std::uint32_t epoch_ = 0;
+    std::vector<TruthTable> tables_;
+    std::vector<std::uint32_t> cone_;   ///< AND nodes strictly inside the cut
+    std::vector<std::uint32_t> stack_;
+};
+
+/// One-shot convenience wrapper around CutConeEvaluator for callers that
+/// evaluate a single cut; loops should construct the evaluator themselves.
 TruthTable cut_truth_table(const Aig& aig, std::uint32_t root, const Cut& cut);
 
 }  // namespace janus

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "janus/logic/cut_enum.hpp"
+#include "janus/util/thread_pool.hpp"
 
 namespace janus {
 namespace {
@@ -95,26 +97,38 @@ struct Choice {
 }  // namespace
 
 Netlist tech_map(const Aig& aig, std::shared_ptr<const CellLibrary> lib,
-                 const TechMapOptions& opts) {
+                 const TechMapOptions& opts, TechMapStats* stats) {
     const MatchTables mt = build_match_tables(*lib);
+    const int workers = std::max(1, opts.workers);
     CutEnumOptions ce;
     ce.max_leaves = std::min(opts.cut_size, kMaxFanin);
     ce.max_cuts_per_node = opts.max_cuts_per_node;
+    ce.workers = workers;
     const CutSet cuts = enumerate_cuts(aig, ce);
     const auto fanout = aig.fanout_counts();
 
-    // Area-flow DP over topological order.
+    // Area-flow DP, eval-parallel per topological level: a node's match is
+    // a pure function of the frozen match tables and the area-flow of its
+    // leaves (strictly lower levels), so one level's nodes are independent
+    // tasks writing disjoint choice/af slots — byte-identical for any
+    // worker count.
     std::vector<Choice> choice(aig.num_nodes());
     std::vector<double> af(aig.num_nodes(), 0.0);
-    for (const std::uint32_t n : aig.topological_order()) {
-        if (!aig.is_and(n)) continue;
+    struct MatchCounters {
+        std::uint64_t cuts_evaluated = 0;
+        std::uint64_t matched_cuts = 0;
+    };
+    const auto match_node = [&](std::uint32_t n, CutConeEvaluator& evaluator,
+                                MatchCounters& counters) {
         double best = -1;
         for (const Cut& cut : cuts.cuts[n]) {
             if (cut.trivial()) continue;
-            const TruthTable tt = cut_truth_table(aig, n, cut);
+            ++counters.cuts_evaluated;
+            const TruthTable tt = evaluator.evaluate(n, cut);
             const auto k = static_cast<int>(cut.leaves.size());
             const auto it = mt.table[k].find(tt.words());
             if (it == mt.table[k].end()) continue;
+            ++counters.matched_cuts;
             double flow = it->second.cost;
             for (const std::uint32_t l : cut.leaves) flow += af[l];
             if (best < 0 || flow < best) {
@@ -126,6 +140,54 @@ Netlist tech_map(const Aig& aig, std::shared_ptr<const CellLibrary> lib,
             throw std::logic_error("tech_map: unmatched node (library too small)");
         }
         af[n] = best / std::max<std::uint32_t>(1, fanout[n]);
+    };
+
+    MatchCounters total;
+    if (workers == 1) {
+        CutConeEvaluator evaluator(aig);
+        for (const std::uint32_t n : aig.topological_order()) {
+            if (!aig.is_and(n)) continue;
+            match_node(n, evaluator, total);
+        }
+    } else {
+        const std::vector<int> levels = aig.levels();
+        int max_level = 0;
+        for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+            if (aig.is_and(n)) max_level = std::max(max_level, levels[n]);
+        }
+        std::vector<std::vector<std::uint32_t>> by_level(
+            static_cast<std::size_t>(max_level) + 1);
+        for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+            if (aig.is_and(n)) {
+                by_level[static_cast<std::size_t>(levels[n])].push_back(n);
+            }
+        }
+        ThreadPool pool(workers);
+        std::vector<CutConeEvaluator> evaluators;
+        std::vector<MatchCounters> counters(static_cast<std::size_t>(workers));
+        evaluators.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) evaluators.emplace_back(aig);
+        for (const auto& nodes : by_level) {
+            if (nodes.empty()) continue;
+            const std::size_t chunks =
+                std::min(nodes.size(), static_cast<std::size_t>(workers));
+            pool.for_each_index(chunks, [&](std::size_t c) {
+                for (std::size_t i = c; i < nodes.size(); i += chunks) {
+                    match_node(nodes[i], evaluators[c], counters[c]);
+                }
+            });
+        }
+        // Each node is counted exactly once whatever the chunk layout, so
+        // the summed totals match the serial sweep.
+        for (const MatchCounters& c : counters) {
+            total.cuts_evaluated += c.cuts_evaluated;
+            total.matched_cuts += c.matched_cuts;
+        }
+    }
+    if (stats) {
+        stats->cuts_evaluated = total.cuts_evaluated;
+        stats->matched_cuts = total.matched_cuts;
+        stats->workers = workers;
     }
 
     // Cover from outputs.
