@@ -1,0 +1,84 @@
+/// janus_serve: the JanusEDA flow server as a standalone daemon.
+///
+///   janus_serve [--port N] [--workers N] [--sessions N] [--node 28nm]
+///
+/// Binds a loopback TCP socket (port 0 picks an ephemeral port, printed on
+/// stdout) and speaks the line-delimited JSON protocol from docs/SERVER.md:
+/// one request object per line, one response object per line. Try it with:
+///
+///   printf '{"cmd":"ping"}\n' | nc 127.0.0.1 <port>
+///
+/// The process serves until stdin reports EOF or a line reading "quit",
+/// so it works both interactively and under a driving script.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "janus/server/flow_server.hpp"
+
+using namespace janus;
+
+namespace {
+
+int int_arg(int argc, char** argv, int& i, const char* flag) {
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    return std::atoi(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    server::FlowServerOptions opts;
+    std::string node_name = "28nm";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0) {
+            opts.port = int_arg(argc, argv, i, "--port");
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            opts.workers = int_arg(argc, argv, i, "--workers");
+        } else if (std::strcmp(argv[i], "--sessions") == 0) {
+            opts.max_sessions =
+                static_cast<std::size_t>(int_arg(argc, argv, i, "--sessions"));
+        } else if (std::strcmp(argv[i], "--node") == 0 && i + 1 < argc) {
+            node_name = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: janus_serve [--port N] [--workers N] "
+                         "[--sessions N] [--node 28nm]\n");
+            return 2;
+        }
+    }
+
+    const std::optional<TechnologyNode> node = find_node(node_name);
+    if (!node) {
+        std::fprintf(stderr, "unknown technology node: %s\n",
+                     node_name.c_str());
+        return 2;
+    }
+
+    server::FlowServer srv(*node, opts);
+    try {
+        srv.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed to start: %s\n", e.what());
+        return 1;
+    }
+    std::printf("janus_serve: node %s, %d workers, %zu sessions\n",
+                node->name.c_str(), opts.workers, opts.max_sessions);
+    std::printf("listening on 127.0.0.1:%d\n", srv.port());
+    std::fflush(stdout);
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line == "quit" || line == "exit") break;
+    }
+    srv.stop();
+    std::printf("janus_serve: stopped\n");
+    return 0;
+}

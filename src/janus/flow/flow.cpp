@@ -6,29 +6,61 @@
 
 namespace janus {
 
-std::string FlowParams::check() const {
+std::string ParallelismConfig::check() const {
     std::ostringstream err;
+    if (workers <= 0) {
+        err << "parallel.workers must be > 0 (1 = serial), got " << workers;
+    } else if (optimize < 0) {
+        err << "parallel.optimize must be >= 0 (0 inherits workers), got "
+            << optimize;
+    } else if (place < 0) {
+        err << "parallel.place must be >= 0 (0 inherits workers), got "
+            << place;
+    } else if (route < 0) {
+        err << "parallel.route must be >= 0 (0 inherits workers), got "
+            << route;
+    } else if (sta < 0) {
+        err << "parallel.sta must be >= 0 (0 inherits workers), got " << sta;
+    }
+    return err.str();
+}
+
+std::string FlowParams::check() {
+    // Fold the deprecated per-stage worker aliases into `parallel` first
+    // (idempotent: folded aliases reset to 0). A negative alias is reported
+    // under its legacy name so old callers get a recognizable message; an
+    // explicitly-set new-style override wins over the alias.
+    std::ostringstream err;
+    const auto fold = [&err](int& alias, int& target, const char* name) {
+        if (alias < 0) {
+            err << name << " (deprecated) must be >= 0, got " << alias;
+            return;
+        }
+        if (alias > 0 && target == 0) target = alias;
+        alias = 0;
+    };
+    fold(opt_workers, parallel.optimize, "opt_workers");
+    fold(place_workers, parallel.place, "place_workers");
+    fold(route_workers, parallel.route, "route_workers");
+    fold(sta_workers, parallel.sta, "sta_workers");
+    if (!err.str().empty()) return err.str();
+
+    const std::string perr = parallel.check();
+    if (!perr.empty()) return perr;
+
     if (utilization <= 0.0 || utilization > 1.0) {
         err << "utilization must be in (0, 1], got " << utilization;
     } else if (optimize_rounds < 0) {
         err << "optimize_rounds must be >= 0, got " << optimize_rounds;
-    } else if (opt_workers <= 0) {
-        err << "opt_workers must be > 0 (1 = serial), got " << opt_workers;
     } else if (placer_iterations <= 0) {
         err << "placer_iterations must be > 0, got " << placer_iterations;
     } else if (sa_moves_per_cell < 0) {
         err << "sa_moves_per_cell must be >= 0 (0 disables), got "
             << sa_moves_per_cell;
-    } else if (place_workers <= 0) {
-        err << "place_workers must be > 0 (1 = serial), got " << place_workers;
     } else if (router_iterations <= 0) {
         err << "router_iterations must be > 0, got " << router_iterations;
     } else if (routing_layers <= 0) {
         err << "routing_layers must be > 0, got " << routing_layers;
-    } else if (route_workers <= 0) {
-        err << "route_workers must be > 0 (1 = serial), got " << route_workers;
-    } else if (sta_workers <= 0) {
-        err << "sta_workers must be > 0 (1 = serial), got " << sta_workers;
     } else if (scan_chains <= 0 && enabled(FlowStageMask::Scan)) {
         err << "scan_chains must be > 0 when scan is enabled, got "
             << scan_chains;

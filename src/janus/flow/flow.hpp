@@ -44,38 +44,64 @@ constexpr bool has_stage(FlowStageMask mask, FlowStageMask bit) {
     return (mask & bit) != FlowStageMask::None;
 }
 
+/// Threading configuration for one flow run. One global `workers` default
+/// covers every parallel stage; per-stage overrides exist for asymmetric
+/// machines or experiments (0 = inherit the global default). Every stage
+/// carries the same determinism contract: QoR is byte-identical for any
+/// worker count (docs/SYNTH.md, docs/PLACE.md, docs/ROUTING.md,
+/// docs/TIMING.md), so this is a pure performance knob. Replaces the four
+/// pre-PR6 `FlowParams::{opt,place,route,sta}_workers` fields.
+struct ParallelismConfig {
+    /// Default thread count for every parallel stage; 1 = serial.
+    int workers = 1;
+    // Per-stage overrides; 0 = inherit `workers`.
+    int optimize = 0;  ///< eval-parallel refactoring + tech mapping
+    int place = 0;     ///< batch-parallel SA detailed placement
+    int route = 0;     ///< batch-parallel rip-up-and-reroute
+    int sta = 0;       ///< level-parallel timing sweeps (also sizing)
+
+    // Effective per-stage worker counts (override or global default).
+    int opt_workers() const { return optimize > 0 ? optimize : workers; }
+    int place_workers() const { return place > 0 ? place : workers; }
+    int route_workers() const { return route > 0 ? route : workers; }
+    int sta_workers() const { return sta > 0 ? sta : workers; }
+
+    /// Empty when usable, else a description naming the bad knob.
+    std::string check() const;
+};
+
 /// Tunable flow parameters (the knobs a methodology team sweeps).
 struct FlowParams {
     int optimize_rounds = 3;       ///< AIG balance/refactor rounds
-    /// Threads for the synthesis front end: eval-parallel refactoring and
-    /// level-parallel technology matching (docs/SYNTH.md). Output is
-    /// byte-identical for any value; 1 = serial.
-    int opt_workers = 1;
     double utilization = 0.65;
     int placer_iterations = 250;   ///< analytic CG solver iterations
     int sa_moves_per_cell = 0;     ///< 0 disables detailed placement
-    /// Threads for the detailed placer's batch-parallel move evaluation.
-    /// QoR is byte-identical for any value (docs/PLACE.md); 1 = serial.
-    int place_workers = 1;
     int router_iterations = 8;
     int routing_layers = 6;
-    /// Threads for the router's batch-parallel rip-up-and-reroute. QoR is
-    /// byte-identical for any value (docs/ROUTING.md); 1 = serial.
-    int route_workers = 1;
-    /// Threads for the timing engine's level-parallel sweeps. Results are
-    /// bit-identical for any value (docs/TIMING.md); 1 = serial.
-    int sta_workers = 1;
+    /// Intra-stage threading (global default + per-stage overrides).
+    ParallelismConfig parallel;
     FlowStageMask stages = FlowStageMask::Default;
     int scan_chains = 4;
     std::uint64_t seed = 1;
 
+    // --- deprecated aliases (pre-PR6 spelling) ----------------------------
+    // 0 = unset. check() folds a positive alias into the matching
+    // `parallel` override (the new-style override wins when both are set),
+    // so legacy callers keep byte-identical behavior. New code should set
+    // `parallel.workers` / the per-stage overrides instead.
+    int opt_workers = 0;    ///< deprecated: use parallel.optimize
+    int place_workers = 0;  ///< deprecated: use parallel.place
+    int route_workers = 0;  ///< deprecated: use parallel.route
+    int sta_workers = 0;    ///< deprecated: use parallel.sta
+
     bool enabled(FlowStageMask bit) const { return has_stage(stages, bit); }
 
-    /// Validates the parameter set. Returns an empty string when every knob
-    /// is usable, else a description of the first problem found. The flow
-    /// engine calls this up front and throws std::invalid_argument instead
-    /// of silently misbehaving on nonsense like utilization > 1.
-    std::string check() const;
+    /// Validates the parameter set and folds the deprecated `*_workers`
+    /// aliases into `parallel` (idempotent). Returns an empty string when
+    /// every knob is usable, else a description of the first problem found.
+    /// The flow engine calls this up front and throws std::invalid_argument
+    /// instead of silently misbehaving on nonsense like utilization > 1.
+    std::string check();
 };
 
 /// Quality-of-results record of one flow run.
@@ -95,6 +121,12 @@ struct FlowResult {
     int cells_resized = 0;          ///< by timing-driven sizing
     bool legal = false;
     double runtime_ms = 0;
+    /// Populated when the run failed (a stage or the context constructor
+    /// threw): the exception text. A failed result carries whatever QoR had
+    /// accumulated before the failure; scheduler/batch execution reports
+    /// failures here instead of propagating and poisoning sibling jobs.
+    std::string error;
+    bool failed() const { return !error.empty(); }
     /// The implemented (mapped + placed + stitched) netlist, populated when
     /// the final stage has run. Replaces the old `Netlist* out` parameter;
     /// shared so FlowResult stays cheap to copy into tuner/bench history.

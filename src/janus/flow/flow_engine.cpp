@@ -16,6 +16,7 @@
 #include "janus/power/power_model.hpp"
 #include "janus/route/clock_tree.hpp"
 #include "janus/route/global_router.hpp"
+#include "janus/server/scheduler.hpp"
 #include "janus/timing/sizing.hpp"
 #include "janus/timing/sta.hpp"
 #include "janus/timing/timing_graph.hpp"
@@ -38,7 +39,7 @@ bool is_sequential(const FlowContext& ctx) {
 StaOptions make_sta_options(const FlowContext& ctx) {
     StaOptions opts;
     opts.wire = WireModel::for_node(ctx.node);
-    opts.sta_workers = ctx.params.sta_workers;
+    opts.sta_workers = ctx.params.parallel.sta_workers();
     return opts;
 }
 
@@ -86,30 +87,29 @@ FlowEngine::FlowEngine() {
         [](FlowContext& ctx) {
             ctx.aig = std::make_unique<Aig>(Aig::from_netlist(ctx.netlist));
             RewriteOptions ropts;
-            ropts.workers = ctx.params.opt_workers;
+            ropts.workers = ctx.params.parallel.opt_workers();
             RewriteStats rs;
             *ctx.aig = optimize(*ctx.aig, ctx.params.optimize_rounds, ropts, &rs);
-            ctx.stage_note =
-                "cuts=" + std::to_string(rs.cuts_evaluated) +
-                " memo_hits=" + std::to_string(rs.memo_hits) +
-                " memo_misses=" + std::to_string(rs.memo_misses) +
-                " espresso=" + std::to_string(rs.espresso_calls) +
-                " replacements=" + std::to_string(rs.replacements) +
-                " workers=" + std::to_string(rs.workers);
+            ctx.trace.note("cuts", rs.cuts_evaluated);
+            ctx.trace.note("memo_hits", rs.memo_hits);
+            ctx.trace.note("memo_misses", rs.memo_misses);
+            ctx.trace.note("espresso", rs.espresso_calls);
+            ctx.trace.note("replacements", rs.replacements);
+            ctx.trace.note("workers", rs.workers);
         });
 
     add("map",
         [](const FlowContext& ctx) { return ctx.aig != nullptr; },
         [](FlowContext& ctx) {
             TechMapOptions mopts;
-            mopts.workers = ctx.params.opt_workers;
+            mopts.workers = ctx.params.parallel.opt_workers();
             TechMapStats ms;
             ctx.netlist =
                 tech_map(*ctx.aig, ctx.netlist.library_ptr(), mopts, &ms);
             ctx.aig.reset();
-            ctx.stage_note = "cuts=" + std::to_string(ms.cuts_evaluated) +
-                             " matched=" + std::to_string(ms.matched_cuts) +
-                             " workers=" + std::to_string(ms.workers);
+            ctx.trace.note("cuts", ms.cuts_evaluated);
+            ctx.trace.note("matched", ms.matched_cuts);
+            ctx.trace.note("workers", ms.workers);
         });
 
     // DFT insertion runs before placement so scan flops exist in the layout.
@@ -130,44 +130,37 @@ FlowEngine::FlowEngine() {
         popts.seed = ctx.params.seed;
         const PlaceQuality pq = analytic_place(ctx.netlist, ctx.area, popts);
         ctx.placed = true;
-        char note[96];
-        std::snprintf(note, sizeof note, "hpwl=%.1f rows=%d iters=%d",
-                      pq.hpwl_um, ctx.area.num_rows, popts.solver_iterations);
-        ctx.stage_note = note;
+        ctx.trace.note("hpwl", pq.hpwl_um);
+        ctx.trace.note("rows", ctx.area.num_rows);
+        ctx.trace.note("iters", popts.solver_iterations);
     });
 
     add("legalize", nullptr, [](FlowContext& ctx) {
         const LegalizeResult lg = legalize(ctx.netlist, ctx.area);
         ctx.result.legal = lg.success && is_legal(ctx.netlist, ctx.area);
         ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
-        char note[128];
-        std::snprintf(note, sizeof note,
-                      "disp_total=%.1f disp_max=%.2f success=%d",
-                      lg.total_displacement_um, lg.max_displacement_um,
-                      lg.success ? 1 : 0);
-        ctx.stage_note = note;
+        ctx.trace.note("disp_total", lg.total_displacement_um);
+        ctx.trace.note("disp_max", lg.max_displacement_um);
+        ctx.trace.note("success", lg.success ? 1 : 0);
     });
 
     // Detailed placement, promoted out of the legalize lambda into its own
     // observable stage: batch-parallel SA refinement (docs/PLACE.md) whose
-    // result is byte-identical for any place_workers value.
+    // result is byte-identical for any place-worker count.
     add("sa_refine",
         [](const FlowContext& ctx) { return ctx.params.sa_moves_per_cell > 0; },
         [](FlowContext& ctx) {
             SaPlaceOptions sopts;
             sopts.moves_per_cell = ctx.params.sa_moves_per_cell;
             sopts.seed = ctx.params.seed;
-            sopts.workers = ctx.params.place_workers;
+            sopts.workers = ctx.params.parallel.place_workers();
             const SaPlaceResult sr = sa_refine(ctx.netlist, ctx.area, sopts);
             ctx.result.legal = ctx.result.legal && is_legal(ctx.netlist, ctx.area);
             ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
-            char note[160];
-            std::snprintf(note, sizeof note,
-                          "moves=%zu accepted=%zu workers=%d hpwl_delta=%.1f",
-                          sr.total_moves, sr.accepted_moves,
-                          ctx.params.place_workers,
-                          sr.final_hpwl_um - sr.initial_hpwl_um);
-            ctx.stage_note = note;
+            ctx.trace.note("moves", sr.total_moves);
+            ctx.trace.note("accepted", sr.accepted_moves);
+            ctx.trace.note("workers", sopts.workers);
+            ctx.trace.note("hpwl_delta", sr.final_hpwl_um - sr.initial_hpwl_um);
         });
 
     // Chains restitched in placement order now that positions exist.
@@ -192,13 +185,13 @@ FlowEngine::FlowEngine() {
         const double gcell_nm =
             static_cast<double>(ctx.area.die.width()) / ropts.gcells_x;
         ropts.capacity_per_layer = 0.65 * gcell_nm / ctx.node.metal_pitch_nm;
-        ropts.route_workers = ctx.params.route_workers;
+        ropts.route_workers = ctx.params.parallel.route_workers();
         const GlobalRouteResult gr = route_design(ctx.netlist, ctx.area, ropts);
         ctx.result.route_wirelength = gr.total_wirelength;
         ctx.result.route_overflow = gr.total_overflow;
-        ctx.stage_note = "batches=" + std::to_string(gr.reroute_batches) +
-                         " conflicts=" + std::to_string(gr.reroute_conflicts) +
-                         " workers=" + std::to_string(ctx.params.route_workers);
+        ctx.trace.note("batches", gr.reroute_batches);
+        ctx.trace.note("conflicts", gr.reroute_conflicts);
+        ctx.trace.note("workers", ropts.route_workers);
     });
 
     add("cts",
@@ -221,9 +214,9 @@ FlowEngine::FlowEngine() {
             sopts.sta = make_sta_options(ctx);
             const SizingResult sr = size_for_timing(ctx.netlist, sopts);
             ctx.result.cells_resized = sr.cells_resized;
-            ctx.stage_note = "passes=" + std::to_string(sr.passes) +
-                             " resized=" + std::to_string(sr.cells_resized) +
-                             " evals=" + std::to_string(sr.timing_evals);
+            ctx.trace.note("passes", sr.passes);
+            ctx.trace.note("resized", sr.cells_resized);
+            ctx.trace.note("evals", sr.timing_evals);
         });
 
     add("sta", nullptr, [](FlowContext& ctx) {
@@ -233,9 +226,9 @@ FlowEngine::FlowEngine() {
         const TimingReport tr = tg.report();
         ctx.result.critical_delay_ps = tr.critical_delay_ps;
         ctx.result.wns_ps = tr.wns_ps;
-        ctx.stage_note = "levels=" + std::to_string(tg.num_levels()) +
-                         " endpoints=" + std::to_string(tg.endpoints().size()) +
-                         " workers=" + std::to_string(sopts.sta_workers);
+        ctx.trace.note("levels", tg.num_levels());
+        ctx.trace.note("endpoints", tg.endpoints().size());
+        ctx.trace.note("workers", sopts.sta_workers);
     });
 
     add("power", nullptr, [](FlowContext& ctx) {
@@ -291,12 +284,11 @@ FlowResult FlowEngine::run_until(FlowContext& ctx, std::size_t end_stage) const 
         }
         ScopedLogContext log_ctx("flow:" + ctx.result.design + "/" +
                                  stage.name);
-        ctx.stage_note.clear();
+        ctx.trace.take_pending_notes();  // drop any stale notes defensively
         const auto s0 = std::chrono::steady_clock::now();
         stage.run(ctx);
         entry.wall_ms = elapsed_ms(s0);
-        entry.detail = std::move(ctx.stage_note);
-        ctx.stage_note.clear();
+        entry.notes = ctx.trace.take_pending_notes();
         refresh_size();
         entry.instances = ctx.result.instances;
         entry.cost_after = ctx.result.cost();
@@ -332,21 +324,22 @@ FlowResult FlowEngine::run_to(FlowContext& ctx, std::string_view last_stage) con
 std::vector<FlowResult> FlowEngine::run_batch(
     const std::vector<FlowJob>& jobs, int workers,
     std::vector<StageTrace>* traces) const {
-    std::vector<FlowResult> results(jobs.size());
-    std::vector<StageTrace> local_traces(jobs.size());
-    ThreadPool pool(workers);
     // Jobs are independent by construction (each context owns its netlist
     // copy; stages seed their own RNGs from params), so results indexed by
-    // job are bit-identical whatever the worker count.
-    pool.for_each_index(jobs.size(), [&](std::size_t i) {
-        FlowContext ctx(jobs[i].netlist, jobs[i].node, jobs[i].params);
-        ScopedLogContext log_ctx("batch:" + ctx.result.design);
-        run_until(ctx, stages_.size());
-        // The batch keeps the implemented netlist without an extra copy.
-        ctx.result.mapped = std::make_shared<Netlist>(std::move(ctx.netlist));
-        results[i] = std::move(ctx.result);
-        local_traces[i] = std::move(ctx.trace);
-    });
+    // job are bit-identical whatever the worker count or admission order.
+    FlowScheduler scheduler(*this, workers);
+    std::vector<JobHandle> handles;
+    handles.reserve(jobs.size());
+    for (const FlowJob& job : jobs) handles.push_back(scheduler.submit(job));
+
+    std::vector<FlowResult> results;
+    std::vector<StageTrace> local_traces;
+    results.reserve(jobs.size());
+    local_traces.reserve(jobs.size());
+    for (JobHandle& handle : handles) {
+        results.push_back(handle.wait());
+        local_traces.push_back(handle.trace());
+    }
     if (traces) *traces = std::move(local_traces);
     return results;
 }

@@ -32,6 +32,7 @@
 namespace janus {
 
 class Aig;
+class FlowScheduler;
 
 /// All state one flow run threads through its stages. The input netlist is
 /// copied in (the caller's object is never touched — the old run_flow
@@ -62,10 +63,10 @@ struct FlowContext {
     /// stopped.
     std::size_t next_stage = 0;
 
-    /// A stage may leave a short free-form note here (e.g. the route stage
-    /// records reroute batches/conflicts); the engine moves it into the
-    /// stage's StageTraceEntry::detail and clears it between stages.
-    std::string stage_note;
+    // Stages record typed observations with `trace.note(key, value)`
+    // (report.hpp); the engine attaches pending notes to the stage's
+    // StageTraceEntry at the stage boundary. The old free-form
+    // `stage_note` string is gone.
 
     /// Marks a stage (by name) to be skipped when reached.
     void skip(std::string stage_name);
@@ -119,11 +120,18 @@ class FlowEngine {
     /// state and every stochastic stage is seeded from its own params, so
     /// scheduling cannot leak into QoR. Per-run stage traces are returned
     /// through `traces` (job order) when non-null.
+    ///
+    /// Thin wrapper over FlowScheduler (janus/server/scheduler.hpp): every
+    /// job is submitted as a JobHandle and waited for in order. A job that
+    /// throws (bad params, a failing stage) surfaces as a failed FlowResult
+    /// with `error` populated — sibling jobs run to completion and the pool
+    /// is drained normally, never poisoned.
     std::vector<FlowResult> run_batch(const std::vector<FlowJob>& jobs,
                                       int workers,
                                       std::vector<StageTrace>* traces = nullptr) const;
 
   private:
+    friend class FlowScheduler;  ///< runs jobs via run_until without copies
     FlowResult run_until(FlowContext& ctx, std::size_t end_stage) const;
 
     std::vector<FlowStage> stages_;

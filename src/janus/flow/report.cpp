@@ -34,10 +34,79 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+const StageNote* StageTraceEntry::find_note(std::string_view key) const {
+    for (const StageNote& n : notes) {
+        if (n.key == key) return &n;
+    }
+    return nullptr;
+}
+
+std::int64_t StageTraceEntry::note_int(std::string_view key,
+                                       std::int64_t fallback) const {
+    const StageNote* n = find_note(key);
+    if (!n) return fallback;
+    if (n->kind == StageNote::Kind::Int) return n->int_value;
+    if (n->kind == StageNote::Kind::Real) {
+        return static_cast<std::int64_t>(n->real_value);
+    }
+    return fallback;
+}
+
+double StageTraceEntry::note_real(std::string_view key, double fallback) const {
+    const StageNote* n = find_note(key);
+    if (!n) return fallback;
+    if (n->kind == StageNote::Kind::Real) return n->real_value;
+    if (n->kind == StageNote::Kind::Int) {
+        return static_cast<double>(n->int_value);
+    }
+    return fallback;
+}
+
+std::string StageTraceEntry::note_text(std::string_view key,
+                                       std::string fallback) const {
+    const StageNote* n = find_note(key);
+    if (!n || n->kind != StageNote::Kind::Text) return fallback;
+    return n->text_value;
+}
+
 void StageTrace::add(StageTraceEntry entry) {
     if (!entry.skipped) total_ms += entry.wall_ms;
     peak_instances = std::max(peak_instances, entry.instances);
     entries.push_back(std::move(entry));
+}
+
+void StageTrace::note(std::string key, std::string value) {
+    StageNote n;
+    n.key = std::move(key);
+    n.kind = StageNote::Kind::Text;
+    n.text_value = std::move(value);
+    pending_notes_.push_back(std::move(n));
+}
+
+void StageTrace::note(std::string key, const char* value) {
+    note(std::move(key), std::string(value));
+}
+
+void StageTrace::note_int_impl(std::string key, std::int64_t value) {
+    StageNote n;
+    n.key = std::move(key);
+    n.kind = StageNote::Kind::Int;
+    n.int_value = value;
+    pending_notes_.push_back(std::move(n));
+}
+
+void StageTrace::note_real_impl(std::string key, double value) {
+    StageNote n;
+    n.key = std::move(key);
+    n.kind = StageNote::Kind::Real;
+    n.real_value = value;
+    pending_notes_.push_back(std::move(n));
+}
+
+std::vector<StageNote> StageTrace::take_pending_notes() {
+    std::vector<StageNote> out = std::move(pending_notes_);
+    pending_notes_.clear();
+    return out;
 }
 
 std::string format_flow_result(const FlowResult& r) {
@@ -87,8 +156,21 @@ std::string stage_trace_json(const StageTrace& trace) {
            << "\"instances\":" << e.instances << ","
            << "\"cost_before\":" << e.cost_before << ","
            << "\"cost_after\":" << e.cost_after << ",";
-        if (!e.detail.empty()) {
-            os << "\"detail\":\"" << json_escape(e.detail) << "\",";
+        if (!e.notes.empty()) {
+            os << "\"detail\":{";
+            for (std::size_t n = 0; n < e.notes.size(); ++n) {
+                const StageNote& note = e.notes[n];
+                if (n) os << ",";
+                os << "\"" << json_escape(note.key) << "\":";
+                switch (note.kind) {
+                    case StageNote::Kind::Int: os << note.int_value; break;
+                    case StageNote::Kind::Real: os << note.real_value; break;
+                    case StageNote::Kind::Text:
+                        os << "\"" << json_escape(note.text_value) << "\"";
+                        break;
+                }
+            }
+            os << "},";
         }
         os << "\"skipped\":" << (e.skipped ? "true" : "false") << "}";
     }

@@ -1,0 +1,131 @@
+#pragma once
+/// \file flow_server.hpp
+/// The JanusEDA flow server: a dependency-free TCP + line-delimited-JSON
+/// service that keeps named design sessions warm (session.hpp) and
+/// multiplexes concurrent requests onto one shared thread pool through the
+/// FlowScheduler admission layer (scheduler.hpp). ECO and timing queries
+/// are admitted at JobPriority::Eco — they jump ahead of queued full flows,
+/// which is what gives interactive latency while batch work saturates the
+/// pool.
+///
+/// Request vocabulary (one JSON object per line; see docs/SERVER.md):
+///   ping, submit_design, run_to, timing, eco, query_trace,
+///   list_sessions, evict, stats
+///
+/// `handle_request()` is the transport-independent dispatch — the socket
+/// layer (start()/stop(), thread per connection) is a thin framing wrapper
+/// over it, and tests exercise the full protocol in-process through it.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "janus/flow/flow_engine.hpp"
+#include "janus/netlist/technology.hpp"
+#include "janus/server/protocol.hpp"
+#include "janus/server/scheduler.hpp"
+#include "janus/server/session.hpp"
+
+namespace janus::server {
+
+struct FlowServerOptions {
+    /// Worker threads in the shared scheduler pool (clamped to >= 1).
+    int workers = 1;
+    /// Session registry capacity; least recently used sessions are evicted.
+    std::size_t max_sessions = 8;
+    /// TCP port to bind on loopback; 0 = OS-assigned (read back via port()).
+    std::uint16_t port = 0;
+};
+
+class FlowServer {
+  public:
+    explicit FlowServer(TechnologyNode node, FlowServerOptions opts = {});
+    ~FlowServer();
+
+    FlowServer(const FlowServer&) = delete;
+    FlowServer& operator=(const FlowServer&) = delete;
+
+    /// Dispatches one request line and returns the response JSON (no
+    /// trailing newline). Never throws: protocol and execution errors come
+    /// back as {"status":"error","error":...} responses. Thread-safe.
+    std::string handle_request(const std::string& line);
+
+    /// Binds the loopback listener and starts accepting connections.
+    /// Throws std::runtime_error when the socket cannot be set up.
+    void start();
+    /// Stops accepting, shuts every live connection down, joins all
+    /// threads. Idempotent; the destructor calls it.
+    void stop();
+    bool running() const { return running_.load(); }
+    /// The bound port (valid after start()).
+    std::uint16_t port() const { return port_; }
+
+    SchedulerStats scheduler_stats() const { return scheduler_.stats(); }
+    SessionManager& sessions() { return sessions_; }
+    const CellLibrary& library() const { return *lib_; }
+
+  private:
+    JsonValue dispatch(const JsonValue& req);
+    JsonValue cmd_submit_design(const JsonValue& req);
+    JsonValue cmd_run_to(const JsonValue& req);
+    JsonValue cmd_timing(const JsonValue& req);
+    JsonValue cmd_eco(const JsonValue& req);
+    JsonValue cmd_query_trace(const JsonValue& req);
+    JsonValue cmd_list_sessions() const;
+    JsonValue cmd_stats() const;
+
+    std::shared_ptr<Session> require_session(const JsonValue& req);
+    /// Runs `fn` as a scheduler job at `priority` and rethrows its failure
+    /// (so every session command shares the admission queue with batch
+    /// flows).
+    JsonValue scheduled(std::function<JsonValue()> fn, JobPriority priority);
+
+    void accept_loop();
+    void serve_connection(int fd);
+
+    TechnologyNode node_;
+    FlowServerOptions opts_;
+    std::shared_ptr<const CellLibrary> lib_;
+    FlowEngine engine_;
+    FlowScheduler scheduler_;
+    SessionManager sessions_;
+
+    std::atomic<bool> running_{false};
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+
+    struct Conn {
+        int fd = -1;
+        bool open = false;
+        std::thread th;
+    };
+    std::mutex conn_mu_;
+    std::list<Conn> conns_;
+};
+
+/// Minimal blocking client for the line protocol — what server_test and
+/// bench_server speak through a real socket.
+class JanusClient {
+  public:
+    /// Connects to 127.0.0.1:`port`; throws std::runtime_error on failure.
+    explicit JanusClient(std::uint16_t port);
+    ~JanusClient();
+
+    JanusClient(const JanusClient&) = delete;
+    JanusClient& operator=(const JanusClient&) = delete;
+
+    /// Sends one request line and blocks for the one-line response
+    /// (returned without the trailing newline).
+    std::string request(const std::string& line);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+}  // namespace janus::server

@@ -408,12 +408,15 @@ TEST(RewriteParallel, TechMapByteIdenticalAcrossWorkers) {
 
 TEST(FlowSynth, OptWorkersValidatedAndInvisibleInQoR) {
     FlowParams params;
-    params.opt_workers = 0;
-    EXPECT_NE(params.check().find("opt_workers"), std::string::npos);
-    params.opt_workers = -2;
-    EXPECT_FALSE(params.check().empty());
-    params.opt_workers = 4;
+    params.parallel.optimize = -2;
+    EXPECT_NE(params.check().find("parallel.optimize"), std::string::npos);
+    params.parallel.optimize = 0;
     EXPECT_TRUE(params.check().empty());
+    params.opt_workers = -2;  // deprecated alias still validates
+    EXPECT_NE(params.check().find("opt_workers"), std::string::npos);
+    params.opt_workers = 4;  // and folds into parallel.optimize
+    EXPECT_TRUE(params.check().empty());
+    EXPECT_EQ(params.parallel.opt_workers(), 4);
 
     GeneratorConfig cfg;
     cfg.num_gates = 400;
@@ -423,7 +426,7 @@ TEST(FlowSynth, OptWorkersValidatedAndInvisibleInQoR) {
     FlowParams serial;
     serial.optimize_rounds = 2;
     FlowParams parallel = serial;
-    parallel.opt_workers = 4;
+    parallel.parallel.optimize = 4;
     const FlowResult a = run_flow(nl, node, serial);
     const FlowResult b = run_flow(nl, node, parallel);
     EXPECT_EQ(a.instances, b.instances);
@@ -441,7 +444,7 @@ TEST(FlowSynth, OptimizeAndMapStagesEmitDetail) {
     const Netlist nl = generate_random(lib28(), cfg);
     FlowParams params;
     params.optimize_rounds = 2;
-    params.opt_workers = 2;
+    params.parallel.optimize = 2;
     FlowEngine engine;
     FlowContext ctx(nl, *find_node("28nm"), params);
     engine.run_to(ctx, "map");
@@ -449,14 +452,14 @@ TEST(FlowSynth, OptimizeAndMapStagesEmitDetail) {
     const auto& opt_entry = ctx.trace.entries[0];
     const auto& map_entry = ctx.trace.entries[1];
     EXPECT_EQ(opt_entry.stage, "optimize");
-    EXPECT_NE(opt_entry.detail.find("cuts="), std::string::npos);
-    EXPECT_NE(opt_entry.detail.find("memo_hits="), std::string::npos);
-    EXPECT_NE(opt_entry.detail.find("espresso="), std::string::npos);
-    EXPECT_NE(opt_entry.detail.find("workers=2"), std::string::npos);
+    EXPECT_NE(opt_entry.find_note("cuts"), nullptr);
+    EXPECT_NE(opt_entry.find_note("memo_hits"), nullptr);
+    EXPECT_NE(opt_entry.find_note("espresso"), nullptr);
+    EXPECT_EQ(opt_entry.note_int("workers"), 2);
     EXPECT_EQ(map_entry.stage, "map");
-    EXPECT_NE(map_entry.detail.find("cuts="), std::string::npos);
-    EXPECT_NE(map_entry.detail.find("matched="), std::string::npos);
-    EXPECT_NE(map_entry.detail.find("workers=2"), std::string::npos);
+    EXPECT_NE(map_entry.find_note("cuts"), nullptr);
+    EXPECT_NE(map_entry.find_note("matched"), nullptr);
+    EXPECT_EQ(map_entry.note_int("workers"), 2);
 }
 
 }  // namespace

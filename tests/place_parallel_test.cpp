@@ -188,12 +188,15 @@ TEST(PlaceParallel, LegalityRoundTripAfterParallelRefine) {
 
 TEST(PlaceParallel, FlowParamsValidatePlaceWorkers) {
     FlowParams p;
-    p.place_workers = 0;
-    EXPECT_NE(p.check().find("place_workers"), std::string::npos);
-    p.place_workers = -2;
-    EXPECT_NE(p.check().find("place_workers"), std::string::npos);
-    p.place_workers = 8;
+    p.parallel.place = -2;
+    EXPECT_NE(p.check().find("parallel.place"), std::string::npos);
+    p.parallel.place = 0;
     EXPECT_TRUE(p.check().empty());
+    p.place_workers = -2;  // deprecated alias still validates
+    EXPECT_NE(p.check().find("place_workers"), std::string::npos);
+    p.place_workers = 8;  // and folds into parallel.place
+    EXPECT_TRUE(p.check().empty());
+    EXPECT_EQ(p.parallel.place_workers(), 8);
 }
 
 TEST(PlaceParallel, FlowStagesTracePlacementDetail) {
@@ -203,24 +206,25 @@ TEST(PlaceParallel, FlowStagesTracePlacementDetail) {
     Netlist nl = generate_random(lib28(), cfg);
     FlowParams params;
     params.sa_moves_per_cell = 10;
-    params.place_workers = 2;
+    params.parallel.place = 2;
     FlowContext ctx(std::move(nl), *find_node("28nm"), params);
     FlowEngine engine;
     engine.run_to(ctx, "sa_refine");
-    const auto detail_of = [&](const std::string& stage) -> std::string {
+    const auto entry_of = [&](const std::string& stage) -> const StageTraceEntry& {
         for (const StageTraceEntry& e : ctx.trace.entries) {
-            if (e.stage == stage) return e.detail;
+            if (e.stage == stage) return e;
         }
-        return "<missing>";
+        static const StageTraceEntry missing;
+        return missing;
     };
-    EXPECT_NE(detail_of("place").find("hpwl="), std::string::npos);
-    EXPECT_NE(detail_of("legalize").find("disp_total="), std::string::npos);
-    EXPECT_NE(detail_of("legalize").find("disp_max="), std::string::npos);
-    EXPECT_NE(detail_of("legalize").find("success=1"), std::string::npos);
-    EXPECT_NE(detail_of("sa_refine").find("moves="), std::string::npos);
-    EXPECT_NE(detail_of("sa_refine").find("accepted="), std::string::npos);
-    EXPECT_NE(detail_of("sa_refine").find("workers=2"), std::string::npos);
-    EXPECT_NE(detail_of("sa_refine").find("hpwl_delta="), std::string::npos);
+    EXPECT_NE(entry_of("place").find_note("hpwl"), nullptr);
+    EXPECT_NE(entry_of("legalize").find_note("disp_total"), nullptr);
+    EXPECT_NE(entry_of("legalize").find_note("disp_max"), nullptr);
+    EXPECT_EQ(entry_of("legalize").note_int("success"), 1);
+    EXPECT_NE(entry_of("sa_refine").find_note("moves"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("accepted"), nullptr);
+    EXPECT_EQ(entry_of("sa_refine").note_int("workers"), 2);
+    EXPECT_NE(entry_of("sa_refine").find_note("hpwl_delta"), nullptr);
     const std::string json = stage_trace_json(ctx.trace);
     EXPECT_NE(json.find("\"sa_refine\""), std::string::npos);
 }

@@ -118,12 +118,25 @@ TEST(RouteParallel, UncongestedDesignNeverEntersNegotiation) {
 
 TEST(RouteParallel, FlowParamsValidateRouteWorkers) {
     FlowParams p;
-    p.route_workers = 0;
-    EXPECT_NE(p.check().find("route_workers"), std::string::npos);
-    p.route_workers = -3;
+    p.parallel.route = -3;
+    EXPECT_NE(p.check().find("parallel.route"), std::string::npos);
+    p.parallel.route = 0;  // 0 = inherit the global default
+    EXPECT_TRUE(p.check().empty());
+    p.parallel.workers = 0;
+    EXPECT_NE(p.check().find("parallel.workers"), std::string::npos);
+}
+
+TEST(RouteParallel, DeprecatedRouteWorkersAliasFoldsIntoParallel) {
+    FlowParams p;
+    p.route_workers = -3;  // legacy spelling still validates
     EXPECT_NE(p.check().find("route_workers"), std::string::npos);
     p.route_workers = 8;
     EXPECT_TRUE(p.check().empty());
+    EXPECT_EQ(p.parallel.route, 8);  // alias folded into the new config
+    EXPECT_EQ(p.parallel.route_workers(), 8);
+    EXPECT_EQ(p.route_workers, 0);  // consumed; check() is idempotent
+    EXPECT_TRUE(p.check().empty());
+    EXPECT_EQ(p.parallel.route, 8);
 }
 
 TEST(RouteParallel, FlowRouteStageTracesBatchesAndWorkers) {
@@ -132,7 +145,7 @@ TEST(RouteParallel, FlowRouteStageTracesBatchesAndWorkers) {
     cfg.seed = 5;
     Netlist nl = generate_random(lib28(), cfg);
     FlowParams params;
-    params.route_workers = 2;
+    params.parallel.route = 2;
     FlowContext ctx(std::move(nl), *find_node("28nm"), params);
     FlowEngine engine;
     engine.run_to(ctx, "route");
@@ -141,10 +154,11 @@ TEST(RouteParallel, FlowRouteStageTracesBatchesAndWorkers) {
         if (e.stage == "route") route_entry = &e;
     }
     ASSERT_NE(route_entry, nullptr);
-    EXPECT_NE(route_entry->detail.find("batches="), std::string::npos);
-    EXPECT_NE(route_entry->detail.find("workers=2"), std::string::npos);
+    EXPECT_NE(route_entry->find_note("batches"), nullptr);
+    EXPECT_EQ(route_entry->note_int("workers"), 2);
     const std::string json = stage_trace_json(ctx.trace);
-    EXPECT_NE(json.find("\"detail\":\"batches="), std::string::npos);
+    EXPECT_NE(json.find("\"detail\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
 }
 
 }  // namespace

@@ -554,11 +554,17 @@ TEST(TimingGraph, IncrementalSizingMatchesLegacyQoR) {
 
 TEST(TimingGraph, FlowParamsValidateStaWorkers) {
     FlowParams p;
-    p.sta_workers = 0;
+    p.parallel.sta = -1;
     const std::string err = p.check();
-    EXPECT_NE(err.find("sta_workers"), std::string::npos);
-    p.sta_workers = 4;
+    EXPECT_NE(err.find("parallel.sta"), std::string::npos);
+    p.parallel.sta = 4;
     EXPECT_TRUE(p.check().empty());
+    FlowParams legacy;
+    legacy.sta_workers = -1;  // deprecated alias still validates
+    EXPECT_NE(legacy.check().find("sta_workers"), std::string::npos);
+    legacy.sta_workers = 4;  // and folds into parallel.sta
+    EXPECT_TRUE(legacy.check().empty());
+    EXPECT_EQ(legacy.parallel.sta_workers(), 4);
 }
 
 }  // namespace
