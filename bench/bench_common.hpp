@@ -4,6 +4,8 @@
 /// construction and uniform claim/shape-check reporting.
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -31,12 +33,36 @@ inline void shape_check(const char* what, bool ok) {
     std::printf("SHAPE CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", what);
 }
 
+/// Resolves a bare bench-file name (no directory part) to the repo root, so
+/// the committed BENCH_*.json baselines are updated no matter which build
+/// directory the bench runs from — previously the files silently landed in
+/// the CWD (usually build/) and the repo-root baselines never refreshed.
+/// Precedence: the JANUS_BENCH_OUT directory if set, else the nearest
+/// ancestor of the CWD holding ROADMAP.md (the repo marker), else the CWD.
+inline std::string resolve_bench_path(const std::string& file) {
+    namespace fs = std::filesystem;
+    if (file.find('/') != std::string::npos) return file;  // caller chose
+    if (const char* env = std::getenv("JANUS_BENCH_OUT")) {
+        if (env[0] != '\0') return (fs::path(env) / file).string();
+    }
+    std::error_code ec;
+    for (fs::path dir = fs::current_path(ec); !dir.empty() && !ec;
+         dir = dir.parent_path()) {
+        if (fs::exists(dir / "ROADMAP.md", ec)) return (dir / file).string();
+        if (dir == dir.root_path()) break;
+    }
+    return file;
+}
+
 /// Read-modify-write of a shared machine-readable bench file such as
 /// BENCH_route.json: one `"name": {payload}` entry per line, so independent
 /// bench binaries each own a key without needing a JSON parser. Re-running
-/// a bench replaces its entry in place.
-inline void write_json_entry(const std::string& path, const std::string& name,
-                             const std::string& payload) {
+/// a bench replaces its entry in place. Bare filenames resolve to the repo
+/// root (resolve_bench_path); returns the path actually written.
+inline std::string write_json_entry(const std::string& file,
+                                    const std::string& name,
+                                    const std::string& payload) {
+    const std::string path = resolve_bench_path(file);
     std::vector<std::pair<std::string, std::string>> entries;
     {
         std::ifstream in(path);
@@ -62,6 +88,7 @@ inline void write_json_entry(const std::string& path, const std::string& name,
             << (i + 1 < entries.size() ? "," : "") << "\n";
     }
     out << "}\n";
+    return path;
 }
 
 }  // namespace janus::bench

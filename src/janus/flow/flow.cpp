@@ -21,6 +21,12 @@ std::string ParallelismConfig::check() const {
             << route;
     } else if (sta < 0) {
         err << "parallel.sta must be >= 0 (0 inherits workers), got " << sta;
+    } else if (place_regions < 0) {
+        err << "parallel.place_regions must be >= 0 (0 auto-sizes), got "
+            << place_regions;
+    } else if (route_panels < 0) {
+        err << "parallel.route_panels must be >= 0 (0 auto-sizes), got "
+            << route_panels;
     }
     return err.str();
 }

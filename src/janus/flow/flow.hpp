@@ -56,9 +56,16 @@ struct ParallelismConfig {
     int workers = 1;
     // Per-stage overrides; 0 = inherit `workers`.
     int optimize = 0;  ///< eval-parallel refactoring + tech mapping
-    int place = 0;     ///< batch-parallel SA detailed placement
-    int route = 0;     ///< batch-parallel rip-up-and-reroute
+    int place = 0;     ///< speculative region-parallel SA detailed placement
+    int route = 0;     ///< speculative panel-parallel rip-up-and-reroute
     int sta = 0;       ///< level-parallel timing sweeps (also sizing)
+
+    // Speculative region-ownership grids (util/speculate.hpp); 0 = auto-size
+    // from the workload. Unlike the worker knobs these are part of the
+    // schedule — two different grids give two different (each internally
+    // worker-invariant) results.
+    int place_regions = 0;  ///< SA ownership-grid tiles per die axis
+    int route_panels = 0;   ///< reroute ownership panels per gcell axis
 
     // Effective per-stage worker counts (override or global default).
     int opt_workers() const { return optimize > 0 ? optimize : workers; }

@@ -154,11 +154,17 @@ FlowEngine::FlowEngine() {
             sopts.moves_per_cell = ctx.params.sa_moves_per_cell;
             sopts.seed = ctx.params.seed;
             sopts.workers = ctx.params.parallel.place_workers();
+            sopts.region_grid = ctx.params.parallel.place_regions;
             const SaPlaceResult sr = sa_refine(ctx.netlist, ctx.area, sopts);
             ctx.result.legal = ctx.result.legal && is_legal(ctx.netlist, ctx.area);
             ctx.result.hpwl_um = total_hpwl_um(ctx.netlist, ctx.area);
             ctx.trace.note("moves", sr.total_moves);
             ctx.trace.note("accepted", sr.accepted_moves);
+            ctx.trace.note("regions", sr.regions);
+            ctx.trace.note("rounds", sr.rounds);
+            ctx.trace.note("aborts", sr.commit_aborts);
+            ctx.trace.note("commit_rate", sr.commit_rate());
+            ctx.trace.note("moves_per_round", sr.moves_per_round());
             ctx.trace.note("workers", sopts.workers);
             ctx.trace.note("hpwl_delta", sr.final_hpwl_um - sr.initial_hpwl_um);
         });
@@ -186,11 +192,15 @@ FlowEngine::FlowEngine() {
             static_cast<double>(ctx.area.die.width()) / ropts.gcells_x;
         ropts.capacity_per_layer = 0.65 * gcell_nm / ctx.node.metal_pitch_nm;
         ropts.route_workers = ctx.params.parallel.route_workers();
+        ropts.panel_grid = ctx.params.parallel.route_panels;
         const GlobalRouteResult gr = route_design(ctx.netlist, ctx.area, ropts);
         ctx.result.route_wirelength = gr.total_wirelength;
         ctx.result.route_overflow = gr.total_overflow;
-        ctx.trace.note("batches", gr.reroute_batches);
-        ctx.trace.note("conflicts", gr.reroute_conflicts);
+        ctx.trace.note("panels", gr.panels);
+        ctx.trace.note("rounds", gr.reroute_rounds);
+        ctx.trace.note("aborts", gr.reroute_conflicts);
+        ctx.trace.note("commit_rate", gr.commit_rate());
+        ctx.trace.note("nets_per_round", gr.nets_per_round());
         ctx.trace.note("workers", ropts.route_workers);
     });
 

@@ -176,6 +176,22 @@ double NetBBoxCache::hpwl_if_moved_um(NetId n, InstId moved, Point from,
     return static_cast<double>((maxx - minx) + (maxy - miny)) * 1e-3;
 }
 
+double NetBBoxCache::swap_delta_um(InstId a, Point pa, InstId b,
+                                   Point pb) const {
+    double delta = 0;
+    const auto& na = nets_of_[a];
+    const auto& nb = nets_of_[b];
+    for (const NetId n : na) {
+        if (std::binary_search(nb.begin(), nb.end(), n)) continue;
+        delta += hpwl_if_moved_um(n, a, pa, pb) - net_hpwl_um(n);
+    }
+    for (const NetId n : nb) {
+        if (std::binary_search(na.begin(), na.end(), n)) continue;
+        delta += hpwl_if_moved_um(n, b, pb, pa) - net_hpwl_um(n);
+    }
+    return delta;
+}
+
 void NetBBoxCache::update_net(NetId n, Point from, Point to) {
     if (from == to) return;
     Box b = box_[n];

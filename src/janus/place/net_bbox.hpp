@@ -65,6 +65,16 @@ class NetBBoxCache {
     /// held by a single pin, which rescans the net's pins.
     double hpwl_if_moved_um(NetId n, InstId moved, Point from, Point to) const;
 
+    /// HPWL delta (um) of swapping the positions of `a` (at `pa`) and `b`
+    /// (at `pb`), read-only against the frozen cache. Nets incident to both
+    /// instances see an unchanged pin multiset under a swap, so only the
+    /// symmetric difference of the two incidence sets contributes — which is
+    /// also what makes deltas of net-disjoint swaps exactly additive, the
+    /// property the speculative SA engine's ordered commit relies on
+    /// (sa_place.cpp, docs/PLACE.md). Pure function of cache + positions:
+    /// safe to call concurrently with other const members.
+    double swap_delta_um(InstId a, Point pa, InstId b, Point pb) const;
+
     /// Commits a two-instance position swap (`pa`/`pb` are the pre-swap
     /// positions). Call *after* the netlist positions have been swapped —
     /// rescans read positions from the netlist. Nets incident to both

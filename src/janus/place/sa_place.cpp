@@ -3,44 +3,68 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "janus/place/net_bbox.hpp"
 #include "janus/util/rng.hpp"
-#include "janus/util/thread_pool.hpp"
+#include "janus/util/speculate.hpp"
 
 namespace janus {
 namespace {
 
-/// One candidate swap: drawn serially, evaluated (possibly concurrently)
-/// against the batch-frozen cache, accepted serially in slot order.
-struct SwapMove {
+constexpr int kMaxPartnerDraws = 8;  ///< bounded redraw of degenerate partners
+constexpr int kMaxRequeues = 8;      ///< defer/abort budget before abandoning
+/// Fresh draws per region per round: the speculation horizon. Larger rounds
+/// amortize the per-round serial work (binning + commit) over more parallel
+/// evaluations but evaluate against a staler snapshot.
+constexpr std::size_t kRegionQuota = 64;
+constexpr std::size_t kCellsPerRegion = 256;  ///< auto grid sizing target
+constexpr int kMaxTilesPerAxis = 64;
+
+/// A candidate re-queued across rounds (local defer or commit abort). Only
+/// the endpoints survive: positions and the delta are re-read against the
+/// next round's fresh snapshot.
+struct CarryMove {
     InstId a = 0, b = 0;
-    std::size_t slot = 0;  ///< global move-slot index (drives the cooling clock)
-    Point pa, pb;          ///< batch-start positions
-    double delta_um = 0;   ///< pure function of the frozen cache + positions
+    int requeues = 0;
 };
 
-/// HPWL delta of swapping m.a and m.b, read-only against the frozen cache.
-/// Nets incident to both endpoints see an unchanged pin multiset under a
-/// swap, so only the symmetric difference of the two incidence sets
-/// contributes; those nets are net-disjoint from every other move in the
-/// batch, which is what makes batch deltas exactly additive.
-double swap_delta_um(const NetBBoxCache& cache, const SwapMove& m) {
-    double delta = 0;
-    const auto& na = cache.nets_of(m.a);
-    const auto& nb = cache.nets_of(m.b);
-    for (const NetId n : na) {
-        if (std::binary_search(nb.begin(), nb.end(), n)) continue;
-        delta += cache.hpwl_if_moved_um(n, m.a, m.pa, m.pb) - cache.net_hpwl_um(n);
+/// An accepted-pending move awaiting its round's serial commit.
+struct PendingMove {
+    InstId a = 0, b = 0;
+    Point pa, pb;         ///< round-frozen positions
+    double delta_um = 0;  ///< vs the round-frozen cache
+    int requeues = 0;
+};
+
+/// Per-region output of one speculation round. Written only by the slot that
+/// owns the region that round and folded into SaPlaceResult serially in
+/// region order, so aggregation never depends on slot scheduling.
+struct RegionRound {
+    std::vector<PendingMove> pending;
+    std::vector<CarryMove> defers;
+    std::size_t attempted = 0;
+    std::size_t degenerate = 0;
+    std::size_t drawn = 0;
+    std::size_t evals = 0;
+    std::size_t rejected = 0;
+    std::size_t local_defers = 0;
+    std::size_t abandoned = 0;
+
+    void reset() {
+        pending.clear();
+        defers.clear();
+        attempted = degenerate = drawn = evals = rejected = local_defers =
+            abandoned = 0;
     }
-    for (const NetId n : nb) {
-        if (std::binary_search(na.begin(), na.end(), n)) continue;
-        delta += cache.hpwl_if_moved_um(n, m.b, m.pb, m.pa) - cache.net_hpwl_um(n);
-    }
-    return delta;
-}
+};
+
+/// Per-slot scratch, allocated once and reused every round — the persistent
+/// private state that per-batch task submission could never keep.
+struct SlotScratch {
+    EpochClaims nets;
+    EpochClaims insts;
+};
 
 }  // namespace
 
@@ -66,6 +90,21 @@ SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
     }
     if (groups.empty()) return res;
 
+    // The ownership grid is a pure function of the workload (cell count or
+    // the explicit knob), never of the worker count — auto-sizing off
+    // `workers` would silently break the byte-identity contract.
+    const int tiles =
+        opts.region_grid > 0
+            ? std::min(opts.region_grid, kMaxTilesPerAxis)
+            : RegionGrid::auto_tiles_per_axis(nl.num_instances(),
+                                              kCellsPerRegion,
+                                              kMaxTilesPerAxis);
+    const RegionGrid grid(area.die.lo.x, area.die.lo.y,
+                          area.die.hi.x - area.die.lo.x,
+                          area.die.hi.y - area.die.lo.y, tiles, tiles);
+    const std::size_t regions = static_cast<std::size_t>(grid.num_regions());
+    res.regions = regions;
+
     const std::size_t total_slots =
         static_cast<std::size_t>(opts.moves_per_cell) * nl.num_instances();
     const std::size_t chunk = std::max<std::size_t>(1, total_slots / 60);
@@ -74,130 +113,220 @@ SaPlaceResult sa_refine(Netlist& nl, const PlacementArea& area,
                    static_cast<double>(std::max<std::size_t>(1, nl.num_nets())));
     double accumulated = res.initial_hpwl_um;
 
-    // Independent streams for candidate draws and acceptance, derived from
-    // the run seed: the candidate sequence is a pure function of the seed,
-    // never of accept/reject history or worker scheduling.
-    Rng draw_rng(mix_seed(opts.seed, 0));
-    Rng accept_rng(mix_seed(opts.seed, 1));
+    SpeculativeExecutor exec(opts.workers);
+    std::vector<SlotScratch> scratch(exec.slots());
+    for (SlotScratch& s : scratch) {
+        s.nets.resize(nl.num_nets());
+        s.insts.resize(nl.num_instances());
+    }
+    EpochClaims commit_nets, commit_insts;
+    commit_nets.resize(nl.num_nets());
+    commit_insts.resize(nl.num_instances());
 
-    const int workers = std::max(1, opts.workers);
-    const std::size_t batch_cap =
-        static_cast<std::size_t>(std::max(1, opts.batch_moves));
-    std::unique_ptr<ThreadPool> pool;
-    if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+    // Round-reused structures: per-region width-group bins, eligible-group
+    // indices, carried-move inboxes, speculation outputs, draw quotas.
+    std::vector<std::vector<std::vector<InstId>>> rbins(regions);
+    for (auto& rb : rbins) rb.resize(groups.size());
+    std::vector<std::vector<std::size_t>> elig(regions);
+    std::vector<std::vector<CarryMove>> carried(regions);
+    std::vector<RegionRound> out(regions);
+    std::vector<std::size_t> quota(regions, 0);
+    std::vector<CarryMove> carry;
 
-    // Net-claim stamps: a candidate touching a net already claimed by the
-    // current batch closes the batch and carries over as the first member
-    // of the next one, so every batch is net-disjoint and its deltas are
-    // exactly additive.
-    std::vector<std::uint32_t> claim(nl.num_nets(), 0);
-    std::uint32_t epoch = 0;
-    const auto conflicts = [&](const SwapMove& m) {
-        for (const NetId n : cache.nets_of(m.a)) {
-            if (claim[n] == epoch) return true;
+    std::size_t consumed = 0;  // move slots drawn or burned so far
+    std::size_t cooled = 0;    // cooling cursor (slots whose decay applied)
+
+    while (consumed < total_slots || !carry.empty()) {
+        // Alternating half-tile-shifted grids: cells straddling one round's
+        // seam share an owner the next round, so seam-adjacent pairs are not
+        // permanently unswappable.
+        const bool shifted = (res.rounds % 2) == 1;
+        const std::uint64_t round_seed = mix_seed(opts.seed, res.rounds);
+        ++res.rounds;
+
+        // Advance the cooling clock over slots consumed by earlier rounds;
+        // the round then runs at a frozen temperature (worker-invariant by
+        // construction — `consumed` is schedule-independent).
+        while (cooled < consumed) {
+            if (cooled % chunk == chunk - 1) temp *= opts.cooling;
+            ++cooled;
         }
-        for (const NetId n : cache.nets_of(m.b)) {
-            if (claim[n] == epoch) return true;
-        }
-        return false;
-    };
-    const auto claim_move = [&](const SwapMove& m) {
-        for (const NetId n : cache.nets_of(m.a)) claim[n] = epoch;
-        for (const NetId n : cache.nets_of(m.b)) claim[n] = epoch;
-    };
+        const double round_temp = std::max(1e-12, temp);
 
-    constexpr int kMaxPartnerDraws = 8;
-    std::vector<SwapMove> batch;
-    batch.reserve(batch_cap);
-    SwapMove carry;
-    bool have_carry = false;
-    std::size_t slot = 0;    // generation cursor over move slots
-    std::size_t cooled = 0;  // cooling cursor (slots whose decay has applied)
-
-    while (slot < total_slots || have_carry) {
-        batch.clear();
-        ++epoch;
-        if (have_carry) {
-            claim_move(carry);
-            batch.push_back(carry);
-            have_carry = false;
+        // Serial prologue: bin cells and carried moves under this round's
+        // grid. Carried moves follow endpoint `a`'s current position.
+        for (std::size_t r = 0; r < regions; ++r) {
+            for (auto& g : rbins[r]) g.clear();
+            elig[r].clear();
+            carried[r].clear();
+            out[r].reset();
         }
-        while (batch.size() < batch_cap && slot < total_slots) {
-            auto& group = groups[draw_rng.pick_index(groups.size())];
-            const InstId a = group[draw_rng.pick_index(group.size())];
-            // A self-swap is not a move: redraw the partner (bounded) so a
-            // degenerate draw no longer burns a cooling-schedule slot as if
-            // a move had been attempted.
-            InstId b = a;
-            for (int t = 0; t < kMaxPartnerDraws && b == a; ++t) {
-                ++res.attempted_draws;
-                b = group[draw_rng.pick_index(group.size())];
-                if (b == a) ++res.degenerate_draws;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            for (const InstId i : groups[gi]) {
+                const Point p = nl.instance(i).position;
+                rbins[static_cast<std::size_t>(
+                          grid.region_of(p.x, p.y, shifted))][gi]
+                    .push_back(i);
             }
-            const std::size_t s = slot++;
-            if (b == a) continue;  // redraw budget exhausted (tiny groups)
-            SwapMove m;
-            m.a = a;
-            m.b = b;
-            m.slot = s;
-            if (conflicts(m)) {
-                ++res.batch_conflicts;
-                carry = m;
-                have_carry = true;
-                break;
+        }
+        for (std::size_t r = 0; r < regions; ++r) {
+            for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+                if (rbins[r][gi].size() >= 2) elig[r].push_back(gi);
             }
-            claim_move(m);
-            batch.push_back(m);
         }
-        if (batch.empty()) continue;
-        ++res.batches;
+        for (const CarryMove& m : carry) {
+            const Point p = nl.instance(m.a).position;
+            carried[static_cast<std::size_t>(
+                        grid.region_of(p.x, p.y, shifted))]
+                .push_back(m);
+        }
+        carry.clear();
 
-        // Freeze batch-start positions, then evaluate deltas against the
-        // unmutated cache. Each task writes only its own moves' delta_um
-        // and every delta is a pure function of (cache, positions), so the
-        // values — and everything downstream — cannot depend on worker
-        // count or scheduling.
-        for (SwapMove& m : batch) {
-            m.pa = nl.instance(m.a).position;
-            m.pb = nl.instance(m.b).position;
+        // Distribute this round's fresh-draw budget. Regions with nothing
+        // swappable burn their quota, which is what guarantees termination
+        // even on degenerate designs.
+        const std::size_t budget =
+            std::min(total_slots - consumed, regions * kRegionQuota);
+        consumed += budget;
+        for (std::size_t r = 0; r < regions; ++r) {
+            quota[r] = budget / regions + (r < budget % regions ? 1 : 0);
         }
-        if (pool && batch.size() > 1) {
-            const std::size_t tasks = std::min(pool->size(), batch.size());
-            const std::size_t per = (batch.size() + tasks - 1) / tasks;
-            pool->for_each_index(tasks, [&](std::size_t t) {
-                const std::size_t lo = t * per;
-                const std::size_t hi = std::min(batch.size(), lo + per);
-                for (std::size_t k = lo; k < hi; ++k) {
-                    batch[k].delta_um = swap_delta_um(cache, batch[k]);
+
+        // Speculation: each region draws, evaluates and Metropolis-decides
+        // its moves against the round-frozen netlist/cache, on its own RNG
+        // stream. The slot id picks only the scratch set — everything a
+        // region computes is a pure function of (seed, round, region).
+        exec.for_each_region(regions, [&](std::size_t r, std::size_t slot) {
+            RegionRound& o = out[r];
+            SlotScratch& sc = scratch[slot];
+            sc.nets.next_epoch();
+            sc.insts.next_epoch();
+            Rng rng(mix_seed(round_seed, r));
+
+            const auto locally_blocked = [&](InstId a, InstId b) {
+                if (sc.insts.claimed(a) || sc.insts.claimed(b)) return true;
+                for (const NetId n : cache.nets_of(a)) {
+                    if (sc.nets.claimed(n)) return true;
                 }
-            });
-        } else {
-            for (SwapMove& m : batch) m.delta_um = swap_delta_um(cache, m);
-        }
+                for (const NetId n : cache.nets_of(b)) {
+                    if (sc.nets.claimed(n)) return true;
+                }
+                return false;
+            };
+            const auto evaluate = [&](InstId a, InstId b, int requeues) {
+                // Overlap with an earlier accepted-pending move would make
+                // this delta (or these positions) stale: defer, unevaluated.
+                if (locally_blocked(a, b)) {
+                    ++o.local_defers;
+                    if (requeues + 1 > kMaxRequeues) {
+                        ++o.abandoned;
+                    } else {
+                        o.defers.push_back({a, b, requeues + 1});
+                    }
+                    return;
+                }
+                const Point pa = nl.instance(a).position;
+                const Point pb = nl.instance(b).position;
+                const double delta = cache.swap_delta_um(a, pa, b, pb);
+                ++o.evals;
+                const bool accept =
+                    delta <= 0 ||
+                    rng.next_double() < std::exp(-delta / round_temp);
+                if (!accept) {
+                    ++o.rejected;  // final: rejections are never replayed
+                    return;
+                }
+                // Claim cells as well as nets: a netless cell shares no net
+                // with anything, yet a second pending move through it would
+                // still read a position this commit is about to change.
+                sc.insts.claim(a);
+                sc.insts.claim(b);
+                for (const NetId n : cache.nets_of(a)) sc.nets.claim(n);
+                for (const NetId n : cache.nets_of(b)) sc.nets.claim(n);
+                o.pending.push_back({a, b, pa, pb, delta, requeues});
+            };
 
-        // Serial accept/reject in slot order: the temperature decay and the
-        // acceptance RNG stream advance exactly as they would move by move.
-        for (const SwapMove& m : batch) {
-            while (cooled <= m.slot) {
-                if (cooled % chunk == chunk - 1) temp *= opts.cooling;
-                ++cooled;
+            for (const CarryMove& m : carried[r]) {
+                evaluate(m.a, m.b, m.requeues);
             }
-            ++res.total_moves;
-            const bool accept =
-                m.delta_um <= 0 ||
-                accept_rng.next_double() <
-                    std::exp(-m.delta_um / std::max(1e-12, temp));
-            if (!accept) continue;
-            std::swap(nl.instance(m.a).position, nl.instance(m.b).position);
-            cache.apply_swap(m.a, m.pa, m.b, m.pb);
-            accumulated += m.delta_um;
-            ++res.accepted_moves;
+            if (elig[r].empty()) return;  // quota burns: nothing swappable
+            for (std::size_t q = 0; q < quota[r]; ++q) {
+                const auto& g = rbins[r][elig[r][rng.pick_index(elig[r].size())]];
+                const InstId a = g[rng.pick_index(g.size())];
+                // A self-swap is not a move: redraw the partner (bounded) so
+                // a degenerate draw doesn't count as an attempted move.
+                InstId b = a;
+                for (int t = 0; t < kMaxPartnerDraws && b == a; ++t) {
+                    ++o.attempted;
+                    b = g[rng.pick_index(g.size())];
+                    if (b == a) ++o.degenerate;
+                }
+                if (b == a) continue;  // redraw budget exhausted (tiny groups)
+                ++o.drawn;
+                evaluate(a, b, 0);
+            }
+        });
+
+        // Serial commit in region/draw order: deterministic by construction.
+        // A pending move whose nets or cells an earlier region already
+        // committed this round aborts and re-queues — its delta was computed
+        // against a snapshot that commit just invalidated. Surviving commits
+        // are mutually net-disjoint, so their deltas are exactly additive.
+        commit_nets.next_epoch();
+        commit_insts.next_epoch();
+        for (std::size_t r = 0; r < regions; ++r) {
+            RegionRound& o = out[r];
+            res.attempted_draws += o.attempted;
+            res.degenerate_draws += o.degenerate;
+            res.drawn_moves += o.drawn;
+            res.total_moves += o.evals;
+            res.rejected_moves += o.rejected;
+            res.local_defers += o.local_defers;
+            res.abandoned_moves += o.abandoned;
+            for (const PendingMove& m : o.pending) {
+                bool conflict =
+                    commit_insts.claimed(m.a) || commit_insts.claimed(m.b);
+                if (!conflict) {
+                    for (const NetId n : cache.nets_of(m.a)) {
+                        if (commit_nets.claimed(n)) {
+                            conflict = true;
+                            break;
+                        }
+                    }
+                }
+                if (!conflict) {
+                    for (const NetId n : cache.nets_of(m.b)) {
+                        if (commit_nets.claimed(n)) {
+                            conflict = true;
+                            break;
+                        }
+                    }
+                }
+                if (conflict) {
+                    ++res.commit_aborts;
+                    if (m.requeues + 1 > kMaxRequeues) {
+                        ++res.abandoned_moves;
+                    } else {
+                        carry.push_back({m.a, m.b, m.requeues + 1});
+                    }
+                    continue;
+                }
+                commit_insts.claim(m.a);
+                commit_insts.claim(m.b);
+                for (const NetId n : cache.nets_of(m.a)) commit_nets.claim(n);
+                for (const NetId n : cache.nets_of(m.b)) commit_nets.claim(n);
+                std::swap(nl.instance(m.a).position, nl.instance(m.b).position);
+                cache.apply_swap(m.a, m.pa, m.b, m.pb);
+                accumulated += m.delta_um;
+                ++res.accepted_moves;
+            }
+            for (const CarryMove& c : o.defers) carry.push_back(c);
         }
     }
 
     res.accumulated_hpwl_um = accumulated;
     // The cache's integer bounds are exact, so this is the true HPWL — the
-    // old per-move double accumulation is demoted to a diagnostic above.
+    // per-move double accumulation is demoted to a diagnostic above.
     res.final_hpwl_um = cache.total_hpwl_um();
     return res;
 }

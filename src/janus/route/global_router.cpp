@@ -2,16 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "janus/route/line_search.hpp"
 #include "janus/route/maze_router.hpp"
-#include "janus/util/thread_pool.hpp"
+#include "janus/util/speculate.hpp"
 
 namespace janus {
 namespace {
+
+constexpr std::size_t kNetsPerPanel = 8;  ///< auto panel-grid sizing target
+constexpr int kMaxPanelsPerAxis = 8;
+
+/// Epoch-stamped gcell claims that remember which panel wrote each stamp,
+/// so a panel's own chained commits are never mistaken for conflicts.
+struct OwnerStamps {
+    std::vector<std::uint32_t> epoch_of;
+    std::vector<std::uint32_t> owner_of;
+    std::uint32_t epoch = 0;
+
+    void resize(std::size_t n) {
+        epoch_of.assign(n, 0);
+        owner_of.assign(n, 0);
+    }
+    void next_epoch() {
+        if (++epoch == 0) {
+            epoch_of.assign(epoch_of.size(), 0);
+            epoch = 1;
+        }
+    }
+    bool claimed_by_other(std::size_t i, std::uint32_t owner) const {
+        return epoch_of[i] == epoch && owner_of[i] != owner;
+    }
+    void claim(std::size_t i, std::uint32_t owner) {
+        epoch_of[i] = epoch;
+        owner_of[i] = owner;
+    }
+};
+
+/// One speculative reroute awaiting its round's serial commit.
+struct RerouteCandidate {
+    std::size_t idx = 0;  ///< index into res.nets / net_pins
+    RoutedNet rn;         ///< the optimistically computed replacement
+    GCellRect window;     ///< everything its search may have read
+};
 
 /// Undirected gcell-edge key for per-net deduplication.
 std::uint64_t edge_key(const GCell& a, const GCell& b, int grid_w) {
@@ -233,90 +269,152 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
         return r.expanded(margin).clipped(opts.gcells_x, opts.gcells_y);
     };
 
-    // Negotiated rip-up-and-reroute, batch-parallel and deterministic: the
-    // congested nets of an iteration are partitioned into batches with
-    // pairwise non-overlapping regions; a batch is ripped up, routed against
-    // the now-frozen grid (concurrently when route_workers allows — routing
-    // only reads), and committed serially in net order. Scheduling therefore
-    // cannot reach the result: it is byte-identical for any worker count.
-    const int workers = std::max(1, opts.route_workers);
-    std::unique_ptr<ThreadPool> pool;
-    std::vector<int> cell_level(static_cast<std::size_t>(opts.gcells_x) *
-                                static_cast<std::size_t>(opts.gcells_y));
+    // Negotiated rip-up-and-reroute on the speculative region-ownership
+    // engine (util/speculate.hpp). Each round, the pending congested nets
+    // are binned into gcell panels; every panel reroutes its nets as one
+    // chain on a private copy of the round-frozen grid (rip own route,
+    // route, keep the replacement visible to the chain's later nets), and
+    // the chains commit serially in panel/net order. A net whose read
+    // window contains a cell an earlier panel changed this round aborts —
+    // its costs were computed from a snapshot that commit invalidated —
+    // and re-queues, together with the rest of its chain (which routed on
+    // top of it). The panel grid, chain order and commit order are pure
+    // functions of the pending set and round, never of worker scheduling,
+    // so the result is byte-identical for any worker count.
+    const std::size_t cells = static_cast<std::size_t>(opts.gcells_x) *
+                              static_cast<std::size_t>(opts.gcells_y);
+    SpeculativeExecutor exec(opts.route_workers);
+    std::vector<GridGraph> slot_grids(exec.slots(),
+                                      GridGraph(opts.gcells_x, opts.gcells_y,
+                                                capacity));
+    OwnerStamps stamps;
+    stamps.resize(cells);
+    const auto cell_index = [&](const GCell& c) {
+        return static_cast<std::size_t>(c.y) * opts.gcells_x +
+               static_cast<std::size_t>(c.x);
+    };
+
     int iter = 0;
     for (; iter < opts.max_iterations && grid.total_overflow() > 0; ++iter) {
         grid.accumulate_history();
         // Congested nets in net order, against the iteration-start state.
-        std::vector<std::size_t> congested;
+        std::vector<std::size_t> pending;
         for (const std::size_t i : order) {
             for (const auto& [a, b] : net_edges(res.nets[i], opts.gcells_x)) {
                 if (!grid.edge_free(a, b)) {
-                    congested.push_back(i);
+                    pending.push_back(i);
                     break;
                 }
             }
         }
-        if (congested.empty()) break;
-
-        // Batch levels: each net lands one level past the deepest earlier
-        // net whose region it touches, so conflicting nets keep their
-        // relative order across batches. The per-cell max-level map makes
-        // this O(region area) per net instead of O(congested^2).
-        std::fill(cell_level.begin(), cell_level.end(), 0);
-        std::vector<int> level(congested.size(), 0);
-        int levels = 1;
-        for (std::size_t j = 0; j < congested.size(); ++j) {
-            const GCellRect r = net_region(congested[j]);
-            int lv = 0;
-            for (int y = r.y0; y <= r.y1; ++y) {
-                const int* row = cell_level.data() +
-                                 static_cast<std::size_t>(y) * opts.gcells_x;
-                for (int x = r.x0; x <= r.x1; ++x) lv = std::max(lv, row[x]);
-            }
-            level[j] = lv;
-            if (lv > 0) ++res.reroute_conflicts;
-            levels = std::max(levels, lv + 1);
-            for (int y = r.y0; y <= r.y1; ++y) {
-                int* row = cell_level.data() +
-                           static_cast<std::size_t>(y) * opts.gcells_x;
-                for (int x = r.x0; x <= r.x1; ++x) {
-                    row[x] = std::max(row[x], lv + 1);
-                }
-            }
-        }
-        std::vector<std::vector<std::size_t>> batches(
-            static_cast<std::size_t>(levels));
-        for (std::size_t j = 0; j < congested.size(); ++j) {
-            batches[static_cast<std::size_t>(level[j])].push_back(congested[j]);
-        }
+        if (pending.empty()) break;
 
         // Negotiation: full edges repel harder every iteration.
         const double penalty = 8.0 * (1.0 + iter);
-        for (const std::vector<std::size_t>& batch : batches) {
-            ++res.reroute_batches;
-            for (const std::size_t i : batch) {
-                commit_net(grid, res.nets[i], opts.gcells_x, -1);
+
+        while (!pending.empty()) {
+            // Alternating half-panel-shifted grids so nets straddling one
+            // round's seam can land in a single panel the next round.
+            const bool shifted = (res.reroute_rounds % 2) == 1;
+            ++res.reroute_rounds;
+
+            const int tiles =
+                opts.panel_grid > 0
+                    ? std::min(opts.panel_grid, kMaxPanelsPerAxis)
+                    : RegionGrid::auto_tiles_per_axis(
+                          pending.size(), kNetsPerPanel, kMaxPanelsPerAxis);
+            const RegionGrid panel_grid(0, 0, opts.gcells_x, opts.gcells_y,
+                                        tiles, tiles);
+            const std::size_t panels =
+                static_cast<std::size_t>(panel_grid.num_regions());
+            res.panels = std::max(res.panels, panels);
+
+            // Serial prologue: bin pending nets by pin-bbox center, in
+            // pending order (= chain and commit order within a panel).
+            std::vector<std::vector<std::size_t>> panel_nets(panels);
+            for (const std::size_t i : pending) {
+                GCellRect r;
+                for (const GCell& p : net_pins[i]) r.include(p);
+                panel_nets[static_cast<std::size_t>(panel_grid.region_of(
+                               (r.x0 + r.x1) / 2, (r.y0 + r.y1) / 2,
+                               shifted))]
+                    .push_back(i);
             }
-            if (workers > 1 && batch.size() > 1) {
-                if (!pool) pool = std::make_unique<ThreadPool>(workers);
-                std::vector<SearchStats> task_stats(batch.size());
-                pool->for_each_index(batch.size(), [&](std::size_t t) {
-                    const std::size_t i = batch[t];
-                    res.nets[i] = route_net_tree(grid, res.nets[i].net,
-                                                 net_pins[i], opts.engine,
-                                                 false, &task_stats[t], penalty);
-                });
-                for (const SearchStats& s : task_stats) stats += s;
-            } else {
-                for (const std::size_t i : batch) {
-                    res.nets[i] = route_net_tree(grid, res.nets[i].net,
-                                                 net_pins[i], opts.engine,
-                                                 false, &stats, penalty);
+
+            // Speculation: each panel replays rip-up-and-reroute for its
+            // chain on a private grid synced to the round-frozen snapshot.
+            // The slot id picks only which private grid is reused; every
+            // candidate is a pure function of (snapshot, panel, chain).
+            std::vector<std::vector<RerouteCandidate>> out(panels);
+            std::vector<SearchStats> panel_stats(panels);
+            exec.for_each_region(panels, [&](std::size_t p, std::size_t slot) {
+                if (panel_nets[p].empty()) return;
+                GridGraph& g = slot_grids[slot];
+                g = grid;  // concurrent reads of the frozen grid are safe
+                for (const std::size_t i : panel_nets[p]) {
+                    RerouteCandidate c;
+                    c.idx = i;
+                    c.window = net_region(i);
+                    commit_net(g, res.nets[i], opts.gcells_x, -1);
+                    c.rn = route_net_tree(g, res.nets[i].net, net_pins[i],
+                                          opts.engine, false, &panel_stats[p],
+                                          penalty);
+                    // Keep the replacement in the private grid: later chain
+                    // members negotiate against it like consecutive serial
+                    // nets would.
+                    commit_net(g, c.rn, opts.gcells_x, +1);
+                    out[p].push_back(std::move(c));
+                }
+            });
+
+            // Serial commit in panel/net order. Stamps mark the cells whose
+            // usage this round's commits changed, tagged with the owning
+            // panel: a candidate only aborts on *other* panels' changes —
+            // its own chain's are exactly what it negotiated against. Once
+            // a chain member aborts, the rest of the chain follows it to
+            // the next round (they routed on top of its replacement).
+            stamps.next_epoch();
+            pending.clear();
+            for (std::size_t p = 0; p < panels; ++p) {
+                stats += panel_stats[p];
+                const auto owner = static_cast<std::uint32_t>(p);
+                bool chain_broken = false;
+                for (RerouteCandidate& c : out[p]) {
+                    ++res.speculated_nets;
+                    bool conflict = chain_broken;
+                    for (int y = c.window.y0; y <= c.window.y1 && !conflict;
+                         ++y) {
+                        for (int x = c.window.x0; x <= c.window.x1; ++x) {
+                            if (stamps.claimed_by_other(
+                                    cell_index(GCell{x, y}), owner)) {
+                                conflict = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (conflict) {
+                        ++res.reroute_conflicts;
+                        pending.push_back(c.idx);
+                        chain_broken = true;
+                        continue;
+                    }
+                    const auto stamp_route = [&](const RoutedNet& rn) {
+                        for (const GridRoute& s : rn.segments) {
+                            for (const GCell& cc : s.cells) {
+                                stamps.claim(cell_index(cc), owner);
+                            }
+                        }
+                    };
+                    commit_net(grid, res.nets[c.idx], opts.gcells_x, -1);
+                    stamp_route(res.nets[c.idx]);
+                    res.nets[c.idx] = std::move(c.rn);
+                    commit_net(grid, res.nets[c.idx], opts.gcells_x, +1);
+                    stamp_route(res.nets[c.idx]);
+                    ++res.committed_nets;
                 }
             }
-            for (const std::size_t i : batch) {
-                commit_net(grid, res.nets[i], opts.gcells_x, +1);
-            }
+            // Progress is guaranteed: the first candidate of the first
+            // non-empty panel sees no foreign stamps and always commits.
         }
     }
 

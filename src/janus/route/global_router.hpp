@@ -24,11 +24,17 @@ struct GlobalRouteOptions {
     int routing_layers = 6;
     RouteEngine engine = RouteEngine::Maze;
     int max_iterations = 12;  ///< rip-up-and-reroute rounds
-    /// Worker threads for the negotiation loop's batch-parallel reroutes.
-    /// The result is byte-identical for every value (congested nets are
-    /// routed against a frozen grid and committed serially in net order —
-    /// see docs/ROUTING.md); 1 keeps the loop fully serial.
+    /// Worker slots for the negotiation loop's speculative panel reroutes
+    /// (util/speculate.hpp). The result is byte-identical for every value
+    /// (panels are speculated against a round-frozen grid and committed
+    /// serially in panel/net order — see docs/ROUTING.md); 1 keeps the loop
+    /// fully serial.
     int route_workers = 1;
+    /// Ownership panels per axis for the speculative reroute rounds; 0
+    /// sizes the panel grid per round from the pending-net count. Part of
+    /// the negotiation schedule (it decides which reroutes chain on one
+    /// snapshot), unlike `route_workers`, which never affects results.
+    int panel_grid = 0;
 };
 
 struct RoutedNet {
@@ -52,11 +58,34 @@ struct GlobalRouteResult {
     /// engine comparisons (E3) are not skewed by the pattern pass.
     std::size_t search_cells_expanded = 0;
     std::size_t pattern_cells = 0;
-    /// Negotiation observability: overlap-free batches formed across all
-    /// rip-up iterations, and nets deferred to a later batch because their
-    /// region touched an earlier congested net's.
-    std::size_t reroute_batches = 0;
+    /// Negotiation observability. One round = one speculate/commit cycle of
+    /// the region-ownership engine: every pending congested net is rerouted
+    /// optimistically against the round-frozen grid, then committed serially
+    /// in panel/net order. `reroute_conflicts` counts commit aborts — nets
+    /// whose read window an earlier panel's commit invalidated, re-queued to
+    /// the next round — so speculated == committed + conflicts.
+    std::size_t reroute_rounds = 0;
     std::size_t reroute_conflicts = 0;
+    std::size_t speculated_nets = 0;
+    std::size_t committed_nets = 0;
+    std::size_t panels = 0;  ///< largest ownership grid used by any round
+    /// Fraction of speculative reroutes that survived commit (1.0 when
+    /// nothing ever conflicted): the health metric of the speculation.
+    double commit_rate() const {
+        return speculated_nets == 0
+                   ? 1.0
+                   : static_cast<double>(committed_nets) /
+                         static_cast<double>(speculated_nets);
+    }
+    /// Reroutes per round — the batching-efficiency number that collapsed
+    /// toward ~1 under the per-level batching this engine replaced
+    /// (regression-tested against a floor).
+    double nets_per_round() const {
+        return reroute_rounds == 0
+                   ? 0.0
+                   : static_cast<double>(speculated_nets) /
+                         static_cast<double>(reroute_rounds);
+    }
     bool success() const { return total_overflow == 0; }
 };
 

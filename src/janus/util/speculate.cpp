@@ -1,0 +1,76 @@
+#include "janus/util/speculate.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "janus/util/thread_pool.hpp"
+
+namespace janus {
+
+RegionGrid::RegionGrid(std::int64_t lo_x, std::int64_t lo_y,
+                       std::int64_t width, std::int64_t height, int tiles_x,
+                       int tiles_y)
+    : lo_x_(lo_x),
+      lo_y_(lo_y),
+      tiles_x_(std::max(1, tiles_x)),
+      tiles_y_(std::max(1, tiles_y)) {
+    const std::int64_t w = std::max<std::int64_t>(1, width);
+    const std::int64_t h = std::max<std::int64_t>(1, height);
+    // Ceiling division so tiles cover the whole domain; the last tile may be
+    // short, which only skews region populations, never correctness.
+    tile_w_ = (w + tiles_x_ - 1) / tiles_x_;
+    tile_h_ = (h + tiles_y_ - 1) / tiles_y_;
+}
+
+int RegionGrid::region_of(std::int64_t x, std::int64_t y, bool shifted) const {
+    // The half-tile shift moves every cut line, so items that straddled a
+    // boundary last round share an owner this round.
+    const std::int64_t sx = x - lo_x_ + (shifted ? tile_w_ / 2 : 0);
+    const std::int64_t sy = y - lo_y_ + (shifted ? tile_h_ / 2 : 0);
+    const auto tile = [](std::int64_t v, std::int64_t tw, int tiles) {
+        return static_cast<int>(
+            std::clamp<std::int64_t>(v / tw, 0, tiles - 1));
+    };
+    return tile(sy, tile_h_, tiles_y_) * tiles_x_ + tile(sx, tile_w_, tiles_x_);
+}
+
+int RegionGrid::auto_tiles_per_axis(std::size_t items, std::size_t target,
+                                    int max_per_axis) {
+    const double tiles_wanted = static_cast<double>(items) /
+                                static_cast<double>(std::max<std::size_t>(1, target));
+    const int per_axis =
+        static_cast<int>(std::ceil(std::sqrt(std::max(1.0, tiles_wanted))));
+    return std::clamp(per_axis, 1, std::max(1, max_per_axis));
+}
+
+SpeculativeExecutor::SpeculativeExecutor(int workers) {
+    if (workers > 1) {
+        pool_ = std::make_unique<ThreadPool>(workers);
+        slots_ = pool_->size();
+    }
+}
+
+SpeculativeExecutor::~SpeculativeExecutor() = default;
+
+void SpeculativeExecutor::for_each_region(
+    std::size_t regions,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (regions == 0) return;
+    if (!pool_ || regions == 1) {
+        for (std::size_t r = 0; r < regions; ++r) fn(r, 0);
+        return;
+    }
+    // One durable task per slot; regions are pulled from a shared cursor so
+    // a slot that finishes its region early steals the next one instead of
+    // idling at a per-batch barrier.
+    std::atomic<std::size_t> cursor{0};
+    pool_->run_slots(std::min(slots_, regions), [&](std::size_t slot) {
+        for (std::size_t r = cursor.fetch_add(1); r < regions;
+             r = cursor.fetch_add(1)) {
+            fn(r, slot);
+        }
+    });
+}
+
+}  // namespace janus

@@ -58,26 +58,26 @@ void ThreadPool::worker_loop() {
     }
 }
 
-void ThreadPool::for_each_index(std::size_t n,
-                                const std::function<void(std::size_t)>& fn) {
-    if (n == 0) return;
-    // Exception bookkeeping: keep the one thrown by the lowest index so a
+void ThreadPool::run_slots(std::size_t slots,
+                           const std::function<void(std::size_t)>& fn) {
+    const std::size_t k = std::clamp<std::size_t>(slots, 1, threads_.size());
+    // Exception bookkeeping: keep the one thrown by the lowest slot so a
     // parallel run reports the same failure a serial loop would hit first.
     std::mutex err_mutex;
     std::exception_ptr first_error;
-    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
-    std::atomic<std::size_t> remaining{n};
+    std::size_t first_error_slot = std::numeric_limits<std::size_t>::max();
+    std::atomic<std::size_t> remaining{k};
     std::mutex done_mutex;
     std::condition_variable done_cv;
 
-    for (std::size_t i = 0; i < n; ++i) {
-        submit([&, i] {
+    for (std::size_t s = 0; s < k; ++s) {
+        submit([&, s] {
             try {
-                fn(i);
+                fn(s);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(err_mutex);
-                if (i < first_error_index) {
-                    first_error_index = i;
+                if (s < first_error_slot) {
+                    first_error_slot = s;
                     first_error = std::current_exception();
                 }
             }
@@ -90,6 +90,35 @@ void ThreadPool::for_each_index(std::size_t n,
     std::unique_lock<std::mutex> lock(done_mutex);
     done_cv.wait(lock, [&] { return remaining.load() == 0; });
     lock.unlock();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    // Stripe the index space over slot tasks pulling from a shared cursor.
+    // The lowest-index-exception contract needs care: each slot records its
+    // own lowest failure, and the slots' candidates are merged under the
+    // error mutex so the globally lowest index wins.
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+    std::atomic<std::size_t> cursor{0};
+
+    run_slots(std::min(n, threads_.size()), [&](std::size_t) {
+        for (std::size_t i = cursor.fetch_add(1); i < n;
+             i = cursor.fetch_add(1)) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    });
     if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -42,8 +42,24 @@ class ThreadPool {
     /// all calls return. Iterations must be independent. If any iteration
     /// throws, the exception thrown by the lowest such index is rethrown
     /// here after all iterations have settled.
+    ///
+    /// Iterations are striped over min(n, size()) persistent slot tasks
+    /// pulling indices from a shared cursor (run_slots), not enqueued one
+    /// task per index: a million-iteration call costs pool-size queue
+    /// operations, and no iteration waits at a per-batch barrier.
     void for_each_index(std::size_t n,
                         const std::function<void(std::size_t)>& fn);
+
+    /// Runs fn(slot) once for each slot in [0, slots) concurrently and
+    /// blocks until all return. The slot id is stable for the duration of
+    /// the call, so callers can hand each slot persistent private scratch
+    /// (claim arrays, grid copies) and drain shared worklists from inside
+    /// fn — the speculative region-ownership engines (util/speculate.hpp)
+    /// are the primary client. `slots` is clamped to [1, size()]. If any
+    /// slot throws, the exception from the lowest slot id is rethrown after
+    /// every slot has settled.
+    void run_slots(std::size_t slots,
+                   const std::function<void(std::size_t)>& fn);
 
   private:
     void worker_loop();

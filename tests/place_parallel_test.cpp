@@ -1,13 +1,17 @@
-/// Deterministic batch-parallel detailed-placement suite (docs/PLACE.md):
-/// sa_refine draws moves serially, groups them into net-disjoint batches,
-/// evaluates each batch's deltas concurrently against the frozen
-/// NetBBoxCache, and accepts serially in draw order — so SaPlaceResult and
-/// the final placement must be byte-identical for any worker count. Also
-/// pins the two accounting bugfixes (exact final HPWL instead of drifting
-/// delta accumulation; self-swaps redrawn instead of burning schedule
-/// slots) and the legalizer's over-capacity reporting. Built as its own
-/// binary (like route_parallel_test) so the place concurrency tests are
-/// addressable as one ctest unit and run under -DJANUS_TSAN=ON.
+/// Speculative region-parallel detailed-placement suite (docs/PLACE.md):
+/// sa_refine tiles the die into ownership regions, each worker slot draws,
+/// evaluates and Metropolis-decides its regions' moves against the
+/// round-frozen NetBBoxCache, and accepted moves commit serially in
+/// region/draw order with cross-region conflicts re-queued — so
+/// SaPlaceResult and the final placement must be byte-identical for any
+/// worker count. Also pins the accounting bugfixes (exact final HPWL
+/// instead of drifting delta accumulation; self-swaps redrawn instead of
+/// burning schedule slots; conflict counters that only count true aborts),
+/// the batching-efficiency floor that the conflict-degenerate serial
+/// batching design failed, and the legalizer's over-capacity reporting.
+/// Built as its own binary (like route_parallel_test) so the place
+/// concurrency tests are addressable as one ctest unit and run under
+/// -DJANUS_TSAN=ON.
 
 #include <gtest/gtest.h>
 
@@ -62,10 +66,15 @@ void expect_identical(const SaPlaceResult& a, const SaPlaceResult& b,
                       const std::string& what) {
     EXPECT_EQ(a.total_moves, b.total_moves) << what;
     EXPECT_EQ(a.accepted_moves, b.accepted_moves) << what;
+    EXPECT_EQ(a.rejected_moves, b.rejected_moves) << what;
+    EXPECT_EQ(a.drawn_moves, b.drawn_moves) << what;
     EXPECT_EQ(a.attempted_draws, b.attempted_draws) << what;
     EXPECT_EQ(a.degenerate_draws, b.degenerate_draws) << what;
-    EXPECT_EQ(a.batches, b.batches) << what;
-    EXPECT_EQ(a.batch_conflicts, b.batch_conflicts) << what;
+    EXPECT_EQ(a.regions, b.regions) << what;
+    EXPECT_EQ(a.rounds, b.rounds) << what;
+    EXPECT_EQ(a.local_defers, b.local_defers) << what;
+    EXPECT_EQ(a.commit_aborts, b.commit_aborts) << what;
+    EXPECT_EQ(a.abandoned_moves, b.abandoned_moves) << what;
     EXPECT_EQ(a.initial_hpwl_um, b.initial_hpwl_um) << what;
     EXPECT_EQ(a.final_hpwl_um, b.final_hpwl_um) << what;
     EXPECT_EQ(a.accumulated_hpwl_um, b.accumulated_hpwl_um) << what;
@@ -82,9 +91,10 @@ TEST(PlaceParallel, ByteIdenticalAcrossWorkerCountsOnTwoSeeds) {
         const Netlist base_nl = placed_design(seed, 900, &area);
         Netlist serial = base_nl;
         const SaPlaceResult base = sa_refine(serial, area, sa_opts(1));
-        // The batched path must actually run (many batches, some moves
-        // accepted), otherwise this proves nothing about the parallel path.
-        ASSERT_GT(base.batches, 1u) << "seed " << seed;
+        // The speculative engine must actually run multi-region rounds with
+        // commits, otherwise this proves nothing about the parallel path.
+        ASSERT_GT(base.rounds, 1u) << "seed " << seed;
+        ASSERT_GT(base.regions, 1u) << "seed " << seed;
         ASSERT_GT(base.accepted_moves, 0u) << "seed " << seed;
         for (const int workers : {2, 4, 8}) {
             Netlist par = base_nl;
@@ -116,22 +126,74 @@ TEST(PlaceParallel, SelfSwapsAreRedrawnAndCounted) {
     PlacementArea area;
     Netlist nl = placed_design(34, 20, &area);
     const SaPlaceResult res = sa_refine(nl, area, sa_opts(1, 50));
-    EXPECT_GT(res.total_moves, 0u);
+    EXPECT_GT(res.drawn_moves, 0u);
     EXPECT_GT(res.degenerate_draws, 0u);
-    // Every partner draw is either degenerate (and redrawn) or becomes an
-    // evaluated move; nothing silently burns a schedule slot.
-    EXPECT_EQ(res.attempted_draws, res.total_moves + res.degenerate_draws);
+    // Every partner draw is either degenerate (and redrawn) or becomes a
+    // drawn candidate; nothing silently burns a schedule slot.
+    EXPECT_EQ(res.attempted_draws, res.drawn_moves + res.degenerate_draws);
 }
 
 TEST(PlaceParallel, FullMoveBudgetIsEvaluatedOnRealDesigns) {
     // With realistic group sizes the bounded partner redraw essentially
-    // never exhausts, so every slot becomes an evaluated move — the old
-    // code silently dropped the a == b fraction of the budget.
+    // never exhausts, so nearly every slot becomes a drawn candidate — the
+    // pre-cache code silently dropped the a == b fraction of the budget.
     PlacementArea area;
     Netlist nl = placed_design(31, 900, &area);
     const SaPlaceResult res = sa_refine(nl, area, sa_opts(1));
-    EXPECT_EQ(res.total_moves, 40u * nl.num_instances());
-    EXPECT_EQ(res.attempted_draws, res.total_moves + res.degenerate_draws);
+    EXPECT_GE(res.drawn_moves, 39u * nl.num_instances());
+    EXPECT_LE(res.drawn_moves, 40u * nl.num_instances());
+    EXPECT_EQ(res.attempted_draws, res.drawn_moves + res.degenerate_draws);
+}
+
+TEST(PlaceParallel, ConflictAccountingCountsOnlyTrueAborts) {
+    // The old batching accounting double-counted: a carried-over draw both
+    // closed its batch (a "conflict") and seeded the next, so conflicts
+    // tracked batch count instead of contention. The speculative counters
+    // must satisfy the lifecycle identities instead: every drawn candidate
+    // ends exactly once (committed, rejected, or abandoned), and every
+    // evaluation ends as a commit, a rejection, or a commit abort that
+    // re-evaluates later.
+    PlacementArea area;
+    Netlist nl = placed_design(31, 900, &area);
+    const SaPlaceResult res = sa_refine(nl, area, sa_opts(1));
+    EXPECT_EQ(res.drawn_moves,
+              res.accepted_moves + res.rejected_moves + res.abandoned_moves);
+    EXPECT_EQ(res.total_moves,
+              res.accepted_moves + res.rejected_moves + res.commit_aborts);
+    // Aborts are the exception, not one per round: the commit rate must
+    // stay high for speculation to beat serial execution.
+    EXPECT_GT(res.commit_rate(), 0.5);
+}
+
+TEST(PlaceParallel, BatchingEfficiencyStaysAboveFloor) {
+    // The regression this PR fixes: the serial net-claim batching collapsed
+    // to ~1 move per batch (11k+ pool dispatches per run), making 4 workers
+    // slower than 1. The region engine must keep whole-round evaluation
+    // batches; a floor of 32 moves per round leaves ~8x headroom below the
+    // expected value while still failing any per-move dispatch regression.
+    PlacementArea area;
+    Netlist nl = placed_design(31, 900, &area);
+    const SaPlaceResult res = sa_refine(nl, area, sa_opts(4));
+    ASSERT_GT(res.rounds, 0u);
+    EXPECT_GE(res.moves_per_round(), 32.0);
+}
+
+TEST(PlaceParallel, ExplicitRegionGridIsWorkerInvariant) {
+    // region_grid is part of the schedule (different grids legitimately give
+    // different anneals), but any fixed grid must stay byte-identical for
+    // every worker count.
+    PlacementArea area;
+    const Netlist base_nl = placed_design(37, 700, &area);
+    SaPlaceOptions o1 = sa_opts(1);
+    o1.region_grid = 3;
+    Netlist serial = base_nl;
+    const SaPlaceResult base = sa_refine(serial, area, o1);
+    EXPECT_EQ(base.regions, 9u);
+    SaPlaceOptions o8 = sa_opts(8);
+    o8.region_grid = 3;
+    Netlist par = base_nl;
+    const SaPlaceResult r = sa_refine(par, area, o8);
+    expect_identical(base, r, serial, par, "region_grid 3 workers 8");
 }
 
 TEST(PlaceParallel, NetBBoxCacheStaysExactUnderRandomSwaps) {
@@ -197,6 +259,10 @@ TEST(PlaceParallel, FlowParamsValidatePlaceWorkers) {
     p.place_workers = 8;  // and folds into parallel.place
     EXPECT_TRUE(p.check().empty());
     EXPECT_EQ(p.parallel.place_workers(), 8);
+    p.parallel.place_regions = -1;
+    EXPECT_NE(p.check().find("parallel.place_regions"), std::string::npos);
+    p.parallel.place_regions = 4;  // explicit grids are valid
+    EXPECT_TRUE(p.check().empty());
 }
 
 TEST(PlaceParallel, FlowStagesTracePlacementDetail) {
@@ -223,6 +289,11 @@ TEST(PlaceParallel, FlowStagesTracePlacementDetail) {
     EXPECT_EQ(entry_of("legalize").note_int("success"), 1);
     EXPECT_NE(entry_of("sa_refine").find_note("moves"), nullptr);
     EXPECT_NE(entry_of("sa_refine").find_note("accepted"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("regions"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("rounds"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("aborts"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("commit_rate"), nullptr);
+    EXPECT_NE(entry_of("sa_refine").find_note("moves_per_round"), nullptr);
     EXPECT_EQ(entry_of("sa_refine").note_int("workers"), 2);
     EXPECT_NE(entry_of("sa_refine").find_note("hpwl_delta"), nullptr);
     const std::string json = stage_trace_json(ctx.trace);

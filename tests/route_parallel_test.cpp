@@ -1,10 +1,13 @@
-/// Batch-parallel global routing determinism suite (docs/ROUTING.md): the
-/// negotiation loop partitions congested nets into overlap-free batches,
-/// routes them concurrently against a frozen grid, and commits serially in
-/// net order, so GlobalRouteResult must be byte-identical for any worker
-/// count. Built as its own binary (like flow_engine_test) so the route
-/// concurrency tests are addressable as one ctest unit and run under
-/// -DJANUS_TSAN=ON to race-check the parallel reroute path.
+/// Speculative panel-parallel global routing determinism suite
+/// (docs/ROUTING.md): the negotiation loop bins congested nets into gcell
+/// ownership panels, each worker slot reroutes its panels' chains on a
+/// private copy of the round-frozen grid, and commits serially in panel/net
+/// order with conflicted chains re-queued — so GlobalRouteResult must be
+/// byte-identical for any worker count. Also pins the round-efficiency
+/// floor the per-level batching design failed. Built as its own binary
+/// (like flow_engine_test) so the route concurrency tests are addressable
+/// as one ctest unit and run under -DJANUS_TSAN=ON to race-check the
+/// parallel reroute path.
 
 #include <gtest/gtest.h>
 
@@ -51,8 +54,11 @@ void expect_identical(const GlobalRouteResult& a, const GlobalRouteResult& b,
     EXPECT_EQ(a.iterations, b.iterations) << what;
     EXPECT_EQ(a.search_cells_expanded, b.search_cells_expanded) << what;
     EXPECT_EQ(a.pattern_cells, b.pattern_cells) << what;
-    EXPECT_EQ(a.reroute_batches, b.reroute_batches) << what;
+    EXPECT_EQ(a.reroute_rounds, b.reroute_rounds) << what;
     EXPECT_EQ(a.reroute_conflicts, b.reroute_conflicts) << what;
+    EXPECT_EQ(a.speculated_nets, b.speculated_nets) << what;
+    EXPECT_EQ(a.committed_nets, b.committed_nets) << what;
+    EXPECT_EQ(a.panels, b.panels) << what;
     ASSERT_EQ(a.nets.size(), b.nets.size()) << what;
     for (std::size_t i = 0; i < a.nets.size(); ++i) {
         ASSERT_EQ(a.nets[i].net, b.nets[i].net) << what << " net " << i;
@@ -79,10 +85,11 @@ TEST(RouteParallel, ByteIdenticalAcrossWorkerCountsOnTwoSeeds) {
         PlacementArea area;
         const Netlist nl = placed_design(seed, 1200, &area);
         const auto base = route_design(nl, area, congested_opts(1));
-        // The congested setup must exercise the batched negotiation loop,
-        // otherwise this test proves nothing about the parallel path.
+        // The congested setup must exercise the speculative negotiation
+        // loop, otherwise this test proves nothing about the parallel path.
         ASSERT_GT(base.iterations, 0) << "seed " << seed;
-        ASSERT_GT(base.reroute_batches, 0u) << "seed " << seed;
+        ASSERT_GT(base.reroute_rounds, 0u) << "seed " << seed;
+        ASSERT_GT(base.committed_nets, 0u) << "seed " << seed;
         for (const int workers : {2, 4, 8}) {
             const auto par = route_design(nl, area, congested_opts(workers));
             expect_identical(base, par,
@@ -111,9 +118,43 @@ TEST(RouteParallel, UncongestedDesignNeverEntersNegotiation) {
     const auto res = route_design(nl, area, opts);
     EXPECT_EQ(res.total_overflow, 0.0);
     if (res.iterations == 0) {
-        EXPECT_EQ(res.reroute_batches, 0u);
+        EXPECT_EQ(res.reroute_rounds, 0u);
         EXPECT_EQ(res.reroute_conflicts, 0u);
+        EXPECT_EQ(res.speculated_nets, 0u);
     }
+}
+
+TEST(RouteParallel, SpeculationAccountingAndEfficiencyFloor) {
+    PlacementArea area;
+    const Netlist nl = placed_design(21, 1200, &area);
+    const auto res = route_design(nl, area, congested_opts(4));
+    ASSERT_GT(res.reroute_rounds, 0u);
+    // Every speculative reroute ends exactly once: committed, or aborted
+    // and re-queued (a later round re-speculates it as a fresh unit).
+    EXPECT_EQ(res.speculated_nets,
+              res.committed_nets + res.reroute_conflicts);
+    // The regression this PR fixes: per-level batches collapsed toward one
+    // net per dispatch. Whole-round speculation must keep several nets per
+    // round; the floor leaves headroom below typical values while failing
+    // any per-net dispatch regression.
+    EXPECT_GE(res.nets_per_round(), 4.0);
+}
+
+TEST(RouteParallel, ExplicitPanelGridIsWorkerInvariant) {
+    // panel_grid is part of the negotiation schedule (different panelings
+    // legitimately negotiate differently), but any fixed paneling must stay
+    // byte-identical for every worker count.
+    PlacementArea area;
+    const Netlist nl = placed_design(22, 900, &area);
+    GlobalRouteOptions o1 = congested_opts(1);
+    o1.panel_grid = 2;
+    GlobalRouteOptions o8 = congested_opts(8);
+    o8.panel_grid = 2;
+    const auto base = route_design(nl, area, o1);
+    ASSERT_GT(base.reroute_rounds, 0u);
+    EXPECT_EQ(base.panels, 4u);
+    expect_identical(base, route_design(nl, area, o8),
+                     "panel_grid 2 workers 8");
 }
 
 TEST(RouteParallel, FlowParamsValidateRouteWorkers) {
@@ -121,6 +162,10 @@ TEST(RouteParallel, FlowParamsValidateRouteWorkers) {
     p.parallel.route = -3;
     EXPECT_NE(p.check().find("parallel.route"), std::string::npos);
     p.parallel.route = 0;  // 0 = inherit the global default
+    EXPECT_TRUE(p.check().empty());
+    p.parallel.route_panels = -2;
+    EXPECT_NE(p.check().find("parallel.route_panels"), std::string::npos);
+    p.parallel.route_panels = 4;  // explicit panelings are valid
     EXPECT_TRUE(p.check().empty());
     p.parallel.workers = 0;
     EXPECT_NE(p.check().find("parallel.workers"), std::string::npos);
@@ -139,7 +184,7 @@ TEST(RouteParallel, DeprecatedRouteWorkersAliasFoldsIntoParallel) {
     EXPECT_EQ(p.parallel.route, 8);
 }
 
-TEST(RouteParallel, FlowRouteStageTracesBatchesAndWorkers) {
+TEST(RouteParallel, FlowRouteStageTracesSpeculationAndWorkers) {
     GeneratorConfig cfg;
     cfg.num_gates = 300;
     cfg.seed = 5;
@@ -154,7 +199,11 @@ TEST(RouteParallel, FlowRouteStageTracesBatchesAndWorkers) {
         if (e.stage == "route") route_entry = &e;
     }
     ASSERT_NE(route_entry, nullptr);
-    EXPECT_NE(route_entry->find_note("batches"), nullptr);
+    EXPECT_NE(route_entry->find_note("rounds"), nullptr);
+    EXPECT_NE(route_entry->find_note("panels"), nullptr);
+    EXPECT_NE(route_entry->find_note("aborts"), nullptr);
+    EXPECT_NE(route_entry->find_note("commit_rate"), nullptr);
+    EXPECT_NE(route_entry->find_note("nets_per_round"), nullptr);
     EXPECT_EQ(route_entry->note_int("workers"), 2);
     const std::string json = stage_trace_json(ctx.trace);
     EXPECT_NE(json.find("\"detail\":{"), std::string::npos);
