@@ -93,6 +93,14 @@ class Aig {
     static Aig from_netlist(const Netlist& nl);
 
     const std::string& input_name(std::size_t i) const { return input_names_.at(i); }
+    /// Renames input i / output o — used by the AIGER reader, whose symbol
+    /// table arrives after the nodes it names (aiger.hpp).
+    void set_input_name(std::size_t i, std::string name) {
+        input_names_.at(i) = std::move(name);
+    }
+    void set_output_name(std::size_t o, std::string name) {
+        outputs_.at(o).first = std::move(name);
+    }
 
   private:
     // Parallel arrays per node. A node is an input iff fanin0 == kInputMark.

@@ -1,0 +1,308 @@
+#include "janus/netlist/blif.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "janus/netlist/gate_builder.hpp"
+
+namespace janus {
+namespace {
+
+struct NamesBlock {
+    std::vector<std::string> ins;
+    std::string out;
+    std::vector<std::string> rows;  ///< input planes ({0,1,-} strings)
+    char out_val = '1';             ///< shared output column of every row
+    bool saw_row = false;
+    std::size_t line = 0;
+};
+
+struct LatchDecl {
+    std::string in, out;
+    int init = 0;
+    std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+    throw std::runtime_error("read_blif: line " + std::to_string(line) + ": " + why);
+}
+
+/// One logical line: '#' comments stripped, '\' continuations joined.
+/// Returns false at EOF with `tokens` empty.
+bool next_logical_line(std::istream& is, std::size_t& line_no,
+                       std::vector<std::string>& tokens, std::size_t& at) {
+    tokens.clear();
+    std::string line;
+    bool started = false;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (!started) at = line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        bool cont = false;
+        const auto bs = line.find_last_not_of(" \t\r");
+        if (bs != std::string::npos && line[bs] == '\\') {
+            line.erase(bs);
+            cont = true;
+        }
+        std::istringstream ls(line);
+        std::string tok;
+        while (ls >> tok) tokens.push_back(std::move(tok));
+        started = started || !tokens.empty() || cont;
+        if (cont) continue;
+        if (!tokens.empty()) return true;
+        started = false;  // blank line: keep scanning
+    }
+    return !tokens.empty();
+}
+
+}  // namespace
+
+Netlist read_blif(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
+    std::string model;
+    bool got_model = false, got_end = false;
+    std::vector<std::string> inputs, outputs;
+    std::vector<NamesBlock> names;
+    std::vector<LatchDecl> latches;
+    std::vector<std::pair<std::string, std::size_t>> input_lines;
+
+    std::vector<std::string> tok;
+    std::size_t line_no = 0, at = 0;
+    while (next_logical_line(is, line_no, tok, at)) {
+        const std::string& kw = tok[0];
+        if (kw[0] != '.') {
+            // A cover row of the open .names block.
+            if (names.empty() || got_end) fail(at, "cover row outside .names");
+            NamesBlock& b = names.back();
+            const std::size_t k = b.ins.size();
+            std::string plane;
+            char val = 0;
+            if (k == 0) {
+                if (tok.size() != 1 || tok[0].size() != 1) {
+                    fail(at, "constant .names row must be a single 0/1");
+                }
+                val = tok[0][0];
+            } else {
+                if (tok.size() != 2 || tok[1].size() != 1) {
+                    fail(at, ".names row needs <plane> <value>");
+                }
+                plane = tok[0];
+                val = tok[1][0];
+                if (plane.size() != k) {
+                    fail(at, "cover row width " + std::to_string(plane.size()) +
+                                 " != " + std::to_string(k) + " inputs");
+                }
+                for (char c : plane) {
+                    if (c != '0' && c != '1' && c != '-') {
+                        fail(at, std::string("bad cover literal '") + c + "'");
+                    }
+                }
+            }
+            if (val != '0' && val != '1') fail(at, "cover output must be 0 or 1");
+            if (b.saw_row && val != b.out_val) {
+                fail(at, "mixed ON-set/OFF-set rows in one cover");
+            }
+            b.out_val = val;
+            b.saw_row = true;
+            b.rows.push_back(std::move(plane));
+            continue;
+        }
+        if (got_end && kw != ".model") fail(at, kw + " after .end");
+        if (kw == ".model") {
+            if (got_model) fail(at, "duplicate .model (one model per file)");
+            if (tok.size() != 2) fail(at, ".model needs exactly one name");
+            model = tok[1];
+            got_model = true;
+        } else if (kw == ".inputs") {
+            for (std::size_t i = 1; i < tok.size(); ++i) {
+                inputs.push_back(tok[i]);
+                input_lines.emplace_back(tok[i], at);
+            }
+        } else if (kw == ".outputs") {
+            outputs.insert(outputs.end(), tok.begin() + 1, tok.end());
+        } else if (kw == ".names") {
+            if (tok.size() < 2) fail(at, ".names needs at least an output");
+            NamesBlock b;
+            b.ins.assign(tok.begin() + 1, tok.end() - 1);
+            b.out = tok.back();
+            b.line = at;
+            names.push_back(std::move(b));
+        } else if (kw == ".latch") {
+            // .latch <in> <out> [<type> <clk>] <init> — the init value is
+            // required (see blif.hpp): 2- and 4-operand forms are the
+            // "forgot the init" spellings and are rejected.
+            LatchDecl l;
+            l.line = at;
+            if (tok.size() == 4 || tok.size() == 6) {
+                l.in = tok[1];
+                l.out = tok[2];
+                const std::string& init = tok.back();
+                if (init.size() != 1 || init[0] < '0' || init[0] > '3') {
+                    fail(at, "latch init must be 0, 1, 2 or 3, got '" + init + "'");
+                }
+                l.init = init[0] - '0';
+            } else if (tok.size() == 3 || tok.size() == 5) {
+                fail(at, ".latch " + tok[1] +
+                             ": missing init value (0/1/2/3 is required)");
+            } else {
+                fail(at, ".latch needs <in> <out> [<type> <clk>] <init>");
+            }
+            latches.push_back(std::move(l));
+        } else if (kw == ".end") {
+            got_end = true;
+        } else if (kw == ".clock") {
+            // Single-clock model: the netlist's implicit clock; ignored.
+        } else if (kw == ".subckt" || kw == ".gate" || kw == ".mlatch" ||
+                   kw == ".exdc") {
+            fail(at, kw + " is not supported (flat single-model BLIF only)");
+        } else {
+            fail(at, "unknown directive: " + kw);
+        }
+    }
+    if (!got_model) throw std::runtime_error("read_blif: missing .model");
+
+    Netlist nl(lib, model);
+    std::map<std::string, NetId> net_of;
+    const auto define = [&](const std::string& sig, NetId net, std::size_t where) {
+        if (!net_of.emplace(sig, net).second) fail(where, "signal redefined: " + sig);
+    };
+    for (const auto& [sig, where] : input_lines) {
+        define(sig, nl.add_primary_input(sig), where);
+    }
+
+    const auto dff_cell = lib->find_function(CellFunction::Dff);
+    std::vector<InstId> latch_insts;
+    for (const LatchDecl& l : latches) {
+        if (!dff_cell) fail(l.line, "library has no DFF cell");
+        const InstId id = nl.add_instance(l.out, *dff_cell, {kNoNet});
+        define(l.out, nl.instance(id).output, l.line);
+        latch_insts.push_back(id);
+    }
+
+    // Shared inverter cache so `0` literals of the same signal reuse one
+    // Inv instance; named after the source net id (deterministic, and the
+    // `_inv_` infix cannot collide with BLIF signal tokens we define).
+    std::map<NetId, NetId> inv_of;
+    const auto inverted = [&](NetId n) {
+        const auto it = inv_of.find(n);
+        if (it != inv_of.end()) return it->second;
+        const NetId r = build_unary(nl, true, n, "_inv_n" + std::to_string(n));
+        inv_of.emplace(n, r);
+        return r;
+    };
+
+    // Constant drivers, one per design.
+    NetId const_net[2] = {kNoNet, kNoNet};
+    const auto constant = [&](bool one) {
+        NetId& slot = const_net[one ? 1 : 0];
+        if (slot == kNoNet) slot = build_const(nl, one, one ? "_const1" : "_const0");
+        return slot;
+    };
+
+    const auto build_names = [&](const NamesBlock& b) {
+        std::vector<NetId> ins;
+        ins.reserve(b.ins.size());
+        for (const std::string& s : b.ins) ins.push_back(net_of.at(s));
+        const bool on_set = b.out_val == '1';
+        // No rows: empty ON-set, constant 0 (the classic BLIF idiom for a
+        // ground net). An all-don't-care row makes the cover constant too.
+        if (b.rows.empty()) {
+            define(b.out, constant(false), b.line);
+            return;
+        }
+        GateNamer namer{b.out, 0};
+        std::vector<NetId> cubes;
+        for (const std::string& plane : b.rows) {
+            std::vector<NetId> lits;
+            for (std::size_t i = 0; i < plane.size(); ++i) {
+                if (plane[i] == '1') lits.push_back(ins[i]);
+                if (plane[i] == '0') lits.push_back(inverted(ins[i]));
+            }
+            if (lits.empty()) {
+                // Tautological cube: the whole cover is constant.
+                define(b.out, constant(on_set), b.line);
+                return;
+            }
+            if (lits.size() == 1) {
+                cubes.push_back(lits[0]);
+            } else if (b.rows.size() == 1) {
+                // Single-cube cover: the AND tree IS the function (root
+                // named `out`, NAND'd for OFF-set form).
+                define(b.out,
+                       build_gate_tree(nl, GateTreeKind::And, !on_set, lits, namer),
+                       b.line);
+                return;
+            } else {
+                GateNamer cube_namer{namer.next(), 0};
+                cubes.push_back(
+                    build_gate_tree(nl, GateTreeKind::And, false, lits, cube_namer));
+            }
+        }
+        define(b.out, build_gate_tree(nl, GateTreeKind::Or, !on_set, cubes, namer),
+               b.line);
+    };
+
+    // Dependency-ordered construction (forward references allowed), with
+    // undefined-signal vs cycle diagnosis when a sweep makes no progress.
+    std::vector<const NamesBlock*> todo;
+    for (const NamesBlock& b : names) todo.push_back(&b);
+    while (!todo.empty()) {
+        std::vector<const NamesBlock*> stuck;
+        for (const NamesBlock* b : todo) {
+            const bool ready = std::all_of(
+                b->ins.begin(), b->ins.end(),
+                [&](const std::string& s) { return net_of.count(s) != 0; });
+            if (ready) {
+                build_names(*b);
+            } else {
+                stuck.push_back(b);
+            }
+        }
+        if (stuck.size() == todo.size()) {
+            for (const NamesBlock* b : stuck) {
+                for (const std::string& s : b->ins) {
+                    const bool defined_somewhere =
+                        net_of.count(s) ||
+                        std::any_of(names.begin(), names.end(),
+                                    [&](const NamesBlock& h) { return h.out == s; });
+                    if (!defined_somewhere) {
+                        fail(b->line, ".names " + b->out +
+                                          " references undefined signal " + s);
+                    }
+                }
+            }
+            fail(stuck.front()->line,
+                 "combinational cycle involving signal " + stuck.front()->out);
+        }
+        todo = std::move(stuck);
+    }
+
+    for (std::size_t i = 0; i < latches.size(); ++i) {
+        const auto it = net_of.find(latches[i].in);
+        if (it == net_of.end()) {
+            fail(latches[i].line, ".latch " + latches[i].out +
+                                      " references undefined signal " + latches[i].in);
+        }
+        nl.connect_input(latch_insts[i], 0, it->second);
+    }
+    for (const std::string& sig : outputs) {
+        const auto it = net_of.find(sig);
+        if (it == net_of.end()) {
+            throw std::runtime_error("read_blif: .outputs references undefined signal " +
+                                     sig);
+        }
+        nl.add_primary_output(sig, it->second);
+    }
+    return nl;
+}
+
+Netlist blif_from_string(const std::string& text,
+                         std::shared_ptr<const CellLibrary> lib) {
+    std::istringstream ss(text);
+    return read_blif(ss, std::move(lib));
+}
+
+}  // namespace janus

@@ -1,0 +1,40 @@
+#pragma once
+/// \file blif.hpp
+/// Berkeley Logic Interchange Format (BLIF) reader: the format the
+/// LGSynth/MCNC benchmark sets and most academic synthesis tools exchange.
+/// Supported subset (docs/IO.md has the full grammar):
+///
+///   .model <name>                  # exactly one per file
+///   .inputs <sig> ...              # may repeat / continue with '\'
+///   .outputs <sig> ...
+///   .names <in> ... <out>          # SOP cover rows follow: e.g. "1-0 1"
+///   .latch <in> <out> [<type> <clk>] <init>
+///   .end
+///
+/// Cover rows use {0,1,-} input literals and a single constant output
+/// column; every row of one cover must agree on the output value (ON-set
+/// or OFF-set form). Covers build as AND/OR/INV trees over the library
+/// via gate_builder.hpp. Latches become DFF instances; the init value is
+/// REQUIRED here (0/1/2/3 per BLIF) — a `.latch` without it is rejected,
+/// because silently defaulting the power-up state has burned too many
+/// netlist round-trips. A second `.model` (including concatenated files)
+/// is rejected. `.subckt`/`.exdc` and other hierarchical constructs are
+/// unsupported and produce a clear error rather than silent misparses.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// Parses one BLIF model into a netlist over `lib`. Throws
+/// std::runtime_error naming the line on malformed input.
+Netlist read_blif(std::istream& is, std::shared_ptr<const CellLibrary> lib);
+
+/// Convenience: parse from a string.
+Netlist blif_from_string(const std::string& text,
+                         std::shared_ptr<const CellLibrary> lib);
+
+}  // namespace janus

@@ -1,0 +1,143 @@
+#include "janus/netlist/gate_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace janus {
+namespace {
+
+/// Positive-phase cell for `kind` at `arity` (2..4); nullopt when the
+/// library has no such cell.
+std::optional<std::size_t> positive_cell(const CellLibrary& lib,
+                                         GateTreeKind kind, int arity) {
+    switch (kind) {
+        case GateTreeKind::And:
+            if (arity == 2) return lib.find_function(CellFunction::And2);
+            if (arity == 3) return lib.find_function(CellFunction::And3);
+            if (arity == 4) return lib.find_function(CellFunction::And4);
+            break;
+        case GateTreeKind::Or:
+            if (arity == 2) return lib.find_function(CellFunction::Or2);
+            if (arity == 3) return lib.find_function(CellFunction::Or3);
+            if (arity == 4) return lib.find_function(CellFunction::Or4);
+            break;
+        case GateTreeKind::Xor:
+            if (arity == 2) return lib.find_function(CellFunction::Xor2);
+            if (arity == 3) return lib.find_function(CellFunction::Xor3);
+            break;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t> inverted_cell(const CellLibrary& lib,
+                                         GateTreeKind kind, int arity) {
+    switch (kind) {
+        case GateTreeKind::And:
+            if (arity == 2) return lib.find_function(CellFunction::Nand2);
+            if (arity == 3) return lib.find_function(CellFunction::Nand3);
+            if (arity == 4) return lib.find_function(CellFunction::Nand4);
+            break;
+        case GateTreeKind::Or:
+            if (arity == 2) return lib.find_function(CellFunction::Nor2);
+            if (arity == 3) return lib.find_function(CellFunction::Nor3);
+            if (arity == 4) return lib.find_function(CellFunction::Nor4);
+            break;
+        case GateTreeKind::Xor:
+            if (arity == 2) return lib.find_function(CellFunction::Xnor2);
+            break;
+    }
+    return std::nullopt;
+}
+
+/// Widest positive cell arity available for one reduction step.
+int widest_arity(const CellLibrary& lib, GateTreeKind kind, int want) {
+    for (int a = std::min(want, kind == GateTreeKind::Xor ? 3 : 4); a >= 2; --a) {
+        if (positive_cell(lib, kind, a)) return a;
+    }
+    throw std::runtime_error("gate_builder: library lacks 2-input " +
+                             std::string(kind == GateTreeKind::And   ? "AND"
+                                         : kind == GateTreeKind::Or ? "OR"
+                                                                    : "XOR") +
+                             " cells");
+}
+
+}  // namespace
+
+NetId build_unary(Netlist& nl, bool invert, NetId in, const std::string& name) {
+    const auto cell = nl.library().find_function(invert ? CellFunction::Inv
+                                                        : CellFunction::Buf);
+    if (!cell) {
+        throw std::runtime_error("gate_builder: library lacks " +
+                                 std::string(invert ? "Inv" : "Buf"));
+    }
+    const InstId id = nl.add_instance(name, *cell, {in});
+    return nl.instance(id).output;
+}
+
+NetId build_const(Netlist& nl, bool one, const std::string& name) {
+    const auto cell = nl.library().find_function(one ? CellFunction::Const1
+                                                     : CellFunction::Const0);
+    if (!cell) {
+        throw std::runtime_error("gate_builder: library lacks constant cells");
+    }
+    const InstId id = nl.add_instance(name, *cell, {});
+    return nl.instance(id).output;
+}
+
+NetId build_gate_tree(Netlist& nl, GateTreeKind kind, bool invert_root,
+                      const std::vector<NetId>& leaves, GateNamer& namer) {
+    if (leaves.empty()) {
+        throw std::runtime_error("gate_builder: empty leaf list for " +
+                                 namer.prefix);
+    }
+    const CellLibrary& lib = nl.library();
+    if (leaves.size() == 1) return build_unary(nl, invert_root, leaves[0], namer.prefix);
+
+    // Reduce until one group of <= root arity remains, then emit the root
+    // (inverted variant when available, else positive root + Inv).
+    std::vector<NetId> level = leaves;
+    while (true) {
+        const int n = static_cast<int>(level.size());
+        const int root_arity = widest_arity(lib, kind, n);
+        if (n <= root_arity) {
+            std::optional<std::size_t> cell =
+                invert_root ? inverted_cell(lib, kind, n) : positive_cell(lib, kind, n);
+            if (invert_root && !cell) {
+                // No inverted cell at this arity: positive root + inverter.
+                const auto pos = positive_cell(lib, kind, n);
+                const InstId id = nl.add_instance(namer.next(), *pos, level);
+                return build_unary(nl, true, nl.instance(id).output, namer.prefix);
+            }
+            const InstId id = nl.add_instance(namer.prefix, *cell, level);
+            return nl.instance(id).output;
+        }
+        // One greedy reduction pass: full-width groups, remainder passes
+        // through (it joins a group at the next level).
+        std::vector<NetId> next;
+        std::size_t i = 0;
+        const int arity = widest_arity(lib, kind, n);
+        while (i < level.size()) {
+            std::size_t take =
+                std::min<std::size_t>(static_cast<std::size_t>(arity),
+                                      level.size() - i);
+            if (take < 2) {
+                next.push_back(level[i]);
+                ++i;
+                continue;
+            }
+            // A remainder group may land on an arity the library lacks
+            // (e.g. 3 with no And3): shrink to the widest available.
+            take = static_cast<std::size_t>(
+                widest_arity(lib, kind, static_cast<int>(take)));
+            const std::vector<NetId> group(level.begin() + static_cast<std::ptrdiff_t>(i),
+                                           level.begin() + static_cast<std::ptrdiff_t>(i + take));
+            const auto cell = positive_cell(lib, kind, static_cast<int>(take));
+            const InstId id = nl.add_instance(namer.next(), *cell, group);
+            next.push_back(nl.instance(id).output);
+            i += take;
+        }
+        level = std::move(next);
+    }
+}
+
+}  // namespace janus

@@ -1,0 +1,47 @@
+#pragma once
+/// \file gate_builder.hpp
+/// Wide-gate construction over the cell library: the BLIF and ISCAS
+/// readers (blif.hpp, iscas.hpp) deal in N-ary AND/OR/XOR terms while the
+/// library tops out at 4-input cells, so both decompose through this
+/// shared builder. Trees are built greedily from the widest available
+/// drive-1 variant (And4/Or4, then 3, then 2); an inverted root uses the
+/// matching Nand/Nor/Xnor cell when the library has one at the final
+/// arity, else a positive root plus an explicit inverter. Construction is
+/// deterministic: internal instances are named `<prefix>_t<counter>` in
+/// creation order, so the same input file always produces the same
+/// netlist bytes.
+
+#include <string>
+#include <vector>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// Base function family of a gate tree.
+enum class GateTreeKind { And, Or, Xor };
+
+/// Deterministic name source for a builder's internal tree nodes.
+struct GateNamer {
+    std::string prefix;  ///< usually the output signal name
+    int counter = 0;
+    std::string next() { return prefix + "_t" + std::to_string(counter++); }
+};
+
+/// Builds `kind` over `leaves` (>= 1 net, kNoNet not allowed) and returns
+/// the net of the tree root. `invert_root` complements the function
+/// (NAND/NOR/XNOR). The root instance is named `namer.prefix` so the tree
+/// output is addressable by its source-file signal name; inner nodes get
+/// namer.next() names. A single leaf builds a Buf (or Inv) so the result
+/// always has its own driving instance. Throws std::runtime_error when the
+/// library lacks the required 2-input cells.
+NetId build_gate_tree(Netlist& nl, GateTreeKind kind, bool invert_root,
+                      const std::vector<NetId>& leaves, GateNamer& namer);
+
+/// Buf/Inv wrapper named `name`.
+NetId build_unary(Netlist& nl, bool invert, NetId in, const std::string& name);
+
+/// Const0/Const1 instance named `name`; callers memoize per design.
+NetId build_const(Netlist& nl, bool one, const std::string& name);
+
+}  // namespace janus

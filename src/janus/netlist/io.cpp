@@ -86,8 +86,6 @@ Netlist read_netlist(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
     Netlist nl(lib, "top");
     std::map<std::string, NetId> net_by_name;
     std::vector<PendingInst> pending;
-    // Placeholder net used to satisfy add_instance before fanins resolve.
-    const NetId placeholder = nl.add_net("_placeholder");
 
     std::string line;
     std::size_t line_no = 0;
@@ -110,12 +108,13 @@ Netlist read_netlist(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
             net_by_name.clear();
             pending.clear();
             got_design = true;
-            // Recreate the placeholder in the fresh netlist.
-            const NetId ph = nl.add_net("_placeholder");
-            if (ph != placeholder) fail("internal placeholder mismatch");
         } else if (kw == "input") {
             std::string name, netname;
-            if (!(ls >> name >> netname)) fail("input needs <name> <net>");
+            if (!(ls >> name)) fail("input needs <name> <net>");
+            if (!(ls >> netname)) {
+                fail("input needs <name> <net> — the one-token 'input " + name +
+                     "' form is not part of the grammar (io.hpp)");
+            }
             if (net_by_name.count(netname)) fail("net redefined: " + netname);
             net_by_name[netname] = nl.add_primary_input(name);
         } else if (kw == "inst") {
@@ -130,9 +129,12 @@ Netlist read_netlist(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
             if (static_cast<int>(pi.fanin_names.size()) != arity) {
                 fail("cell " + cell + " expects " + std::to_string(arity) + " inputs");
             }
+            // Fanins connect after the whole file is read (forward
+            // references); kNoNet marks the pending pins, so no helper
+            // "_placeholder" net pollutes the parsed netlist.
             pi.id = nl.add_instance(
                 name, *type,
-                std::vector<NetId>(static_cast<std::size_t>(arity), placeholder));
+                std::vector<NetId>(static_cast<std::size_t>(arity), kNoNet));
             if (net_by_name.count(out)) fail("net redefined: " + out);
             net_by_name[out] = nl.instance(pi.id).output;
             pending.push_back(std::move(pi));

@@ -5,12 +5,18 @@
 /// structural Verilog. The format is line oriented:
 ///
 ///   design <name>
-///   input <pi_name>            # one per primary input, in order
+///   input <pi_name> <net>      # one per primary input, in order
 ///   inst <name> <cell> <out> <in0> <in1> ...
 ///   output <po_name> <net>
 ///
-/// Nets are referenced as n<id> by the writer; the reader accepts any
-/// identifier and creates nets on first use.
+/// Every `input` line carries both the port name and its net token — the
+/// historical one-token `input <pi_name>` form was never emitted by
+/// write_netlist and is rejected with a clear error. Nets are referenced
+/// as n<id> by the writer; the reader accepts any identifier. Nets are
+/// created only by their drivers (`input` lines and `inst` outputs), so a
+/// parsed netlist has exactly one net per PI plus one per instance — no
+/// helper nets are left behind and parse(write(nl)) preserves the net
+/// count (docs/IO.md).
 
 #include <iosfwd>
 #include <memory>

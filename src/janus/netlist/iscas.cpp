@@ -1,0 +1,205 @@
+#include "janus/netlist/iscas.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "janus/netlist/gate_builder.hpp"
+
+namespace janus {
+namespace {
+
+std::string upper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return s;
+}
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+struct BenchGate {
+    std::string out;
+    std::string type;  ///< uppercased gate keyword
+    std::vector<std::string> ins;
+    std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+    throw std::runtime_error("read_iscas: line " + std::to_string(line) + ": " + why);
+}
+
+}  // namespace
+
+Netlist read_iscas(std::istream& is, std::shared_ptr<const CellLibrary> lib,
+                   const std::string& name) {
+    std::vector<std::pair<std::string, std::size_t>> inputs;   // signal, line
+    std::vector<std::pair<std::string, std::size_t>> outputs;  // signal, line
+    std::vector<BenchGate> gates;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const std::string text = trim(line);
+        if (text.empty()) continue;
+
+        const auto eq = text.find('=');
+        const auto open = text.find('(');
+        const auto close = text.rfind(')');
+        if (eq == std::string::npos) {
+            // INPUT(sig) / OUTPUT(sig)
+            if (open == std::string::npos || close == std::string::npos || close < open) {
+                fail(line_no, "expected INPUT(...), OUTPUT(...) or <sig> = GATE(...)");
+            }
+            const std::string kw = upper(trim(text.substr(0, open)));
+            const std::string sig = trim(text.substr(open + 1, close - open - 1));
+            if (sig.empty()) fail(line_no, kw + " needs a signal name");
+            if (kw == "INPUT") {
+                inputs.emplace_back(sig, line_no);
+            } else if (kw == "OUTPUT") {
+                outputs.emplace_back(sig, line_no);
+            } else {
+                fail(line_no, "unknown directive: " + kw);
+            }
+            continue;
+        }
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open || open < eq) {
+            fail(line_no, "malformed gate line (expected <sig> = GATE(a, b, ...))");
+        }
+        BenchGate g;
+        g.out = trim(text.substr(0, eq));
+        g.type = upper(trim(text.substr(eq + 1, open - eq - 1)));
+        g.line = line_no;
+        if (g.out.empty()) fail(line_no, "missing output signal before '='");
+        std::string args = text.substr(open + 1, close - open - 1);
+        std::replace(args.begin(), args.end(), ',', ' ');
+        std::istringstream as(args);
+        std::string tok;
+        while (as >> tok) g.ins.push_back(tok);
+        if (g.ins.empty()) fail(line_no, g.type + " needs at least one input");
+        gates.push_back(std::move(g));
+    }
+
+    Netlist nl(lib, name);
+    std::map<std::string, NetId> net_of;
+    const auto define = [&](const std::string& sig, NetId net, std::size_t at) {
+        if (!net_of.emplace(sig, net).second) {
+            fail(at, "signal redefined: " + sig);
+        }
+    };
+    for (const auto& [sig, at] : inputs) define(sig, nl.add_primary_input(sig), at);
+
+    // Sequential elements first: their Q nets are sources the combinational
+    // build below can reference in any order; D connects at the end.
+    std::vector<std::pair<InstId, const BenchGate*>> dffs;
+    const auto dff_cell = lib->find_function(CellFunction::Dff);
+    for (const BenchGate& g : gates) {
+        if (g.type != "DFF") continue;
+        if (g.ins.size() != 1) fail(g.line, "DFF takes exactly one input");
+        if (!dff_cell) fail(g.line, "library has no DFF cell");
+        const InstId id = nl.add_instance(g.out, *dff_cell, {kNoNet});
+        define(g.out, nl.instance(id).output, g.line);
+        dffs.emplace_back(id, &g);
+    }
+
+    // Combinational gates build in dependency order: repeatedly sweep the
+    // file-ordered list for gates whose fanins are all defined. A stuck
+    // sweep distinguishes an undefined signal from a combinational cycle
+    // and names the culprit either way.
+    const auto build_gate = [&](const BenchGate& g) {
+        std::vector<NetId> ins;
+        ins.reserve(g.ins.size());
+        for (const std::string& s : g.ins) ins.push_back(net_of.at(s));
+        GateNamer namer{g.out, 0};
+        NetId out = kNoNet;
+        if (g.type == "NOT") {
+            if (ins.size() != 1) fail(g.line, "NOT takes exactly one input");
+            out = build_unary(nl, true, ins[0], g.out);
+        } else if (g.type == "BUF" || g.type == "BUFF") {
+            if (ins.size() != 1) fail(g.line, g.type + " takes exactly one input");
+            out = build_unary(nl, false, ins[0], g.out);
+        } else if (g.type == "AND" || g.type == "NAND") {
+            out = build_gate_tree(nl, GateTreeKind::And, g.type == "NAND", ins, namer);
+        } else if (g.type == "OR" || g.type == "NOR") {
+            out = build_gate_tree(nl, GateTreeKind::Or, g.type == "NOR", ins, namer);
+        } else if (g.type == "XOR" || g.type == "XNOR") {
+            out = build_gate_tree(nl, GateTreeKind::Xor, g.type == "XNOR", ins, namer);
+        } else {
+            fail(g.line, "unknown gate type: " + g.type);
+        }
+        define(g.out, out, g.line);
+    };
+
+    std::vector<const BenchGate*> todo;
+    for (const BenchGate& g : gates) {
+        if (g.type != "DFF") todo.push_back(&g);
+    }
+    while (!todo.empty()) {
+        std::vector<const BenchGate*> stuck;
+        for (const BenchGate* g : todo) {
+            const bool ready = std::all_of(
+                g->ins.begin(), g->ins.end(),
+                [&](const std::string& s) { return net_of.count(s) != 0; });
+            if (ready) {
+                build_gate(*g);
+            } else {
+                stuck.push_back(g);
+            }
+        }
+        if (stuck.size() == todo.size()) {
+            // No progress: either a fanin nobody defines, or a cycle.
+            for (const BenchGate* g : stuck) {
+                for (const std::string& s : g->ins) {
+                    const bool defined_somewhere =
+                        net_of.count(s) ||
+                        std::any_of(gates.begin(), gates.end(),
+                                    [&](const BenchGate& h) { return h.out == s; });
+                    if (!defined_somewhere) {
+                        fail(g->line, "gate " + g->out +
+                                          " references undefined signal " + s);
+                    }
+                }
+            }
+            fail(stuck.front()->line,
+                 "combinational cycle involving signal " + stuck.front()->out);
+        }
+        todo = std::move(stuck);
+    }
+
+    for (auto& [id, g] : dffs) {
+        const auto it = net_of.find(g->ins[0]);
+        if (it == net_of.end()) {
+            fail(g->line, "DFF " + g->out + " references undefined signal " + g->ins[0]);
+        }
+        nl.connect_input(id, 0, it->second);
+    }
+    for (const auto& [sig, at] : outputs) {
+        const auto it = net_of.find(sig);
+        if (it == net_of.end()) fail(at, "OUTPUT references undefined signal " + sig);
+        nl.add_primary_output(sig, it->second);
+    }
+    if (nl.primary_inputs().empty() && gates.empty()) {
+        throw std::runtime_error("read_iscas: empty .bench input");
+    }
+    return nl;
+}
+
+Netlist iscas_from_string(const std::string& text,
+                          std::shared_ptr<const CellLibrary> lib,
+                          const std::string& name) {
+    std::istringstream ss(text);
+    return read_iscas(ss, std::move(lib), name);
+}
+
+}  // namespace janus

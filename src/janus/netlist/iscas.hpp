@@ -1,0 +1,40 @@
+#pragma once
+/// \file iscas.hpp
+/// ISCAS85/89 `.bench` netlist reader. The format the classic benchmark
+/// circuits (c17..c7552, s27..s38584) ship in:
+///
+///   # comment
+///   INPUT(<signal>)
+///   OUTPUT(<signal>)
+///   <signal> = <GATE>(<signal>, <signal>, ...)
+///
+/// Gates: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF (any arity >= 2
+/// for the symmetric ones, exactly 1 for NOT/BUF) and DFF (ISCAS89
+/// sequential elements, one D input). Gate names are case-insensitive;
+/// signal names are arbitrary tokens (the ISCAS85 originals use bare
+/// numbers). Wide gates decompose onto the library through
+/// gate_builder.hpp, so the parsed netlist is always over 2..4-input
+/// cells. OUTPUT lines and gate fanins may reference signals defined
+/// later in the file. Combinational loops are rejected with the offending
+/// signal named. Grammar and corpus notes: docs/IO.md.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "janus/netlist/netlist.hpp"
+
+namespace janus {
+
+/// Parses a `.bench` stream into a netlist over `lib`. `name` becomes the
+/// design name (the format itself carries none — callers pass the file
+/// stem). Throws std::runtime_error naming the line on malformed input.
+Netlist read_iscas(std::istream& is, std::shared_ptr<const CellLibrary> lib,
+                   const std::string& name = "bench");
+
+/// Convenience: parse from a string.
+Netlist iscas_from_string(const std::string& text,
+                          std::shared_ptr<const CellLibrary> lib,
+                          const std::string& name = "bench");
+
+}  // namespace janus

@@ -59,7 +59,7 @@ InstId Netlist::add_instance(std::string name, std::size_t type,
     inst.name = std::move(name);
     inst.type = type;
     for (std::size_t i = 0; i < fanins.size(); ++i) {
-        assert(fanins[i] < nets_.size());
+        assert(fanins[i] == kNoNet || fanins[i] < nets_.size());
         inst.fanin[i] = fanins[i];
     }
     const InstId id = static_cast<InstId>(instances_.size());
@@ -150,7 +150,52 @@ const std::vector<InstId>& Netlist::topological_order() const {
         }
     }
     if (order.size() != num_comb) {
-        throw std::runtime_error("topological_order: combinational loop in " + name_);
+        // Name the cycle, not just the design: walk fanins from any
+        // unordered instance through unordered drivers until one repeats —
+        // every instance with pending deps sits on or downstream of a
+        // cycle, and the walk can only terminate by closing one.
+        InstId start = kNoInst;
+        for (InstId i = 0; i < instances_.size() && start == kNoInst; ++i) {
+            if (!is_sequential(type_of(i).function) && pending[i] > 0) start = i;
+        }
+        std::string cycle;
+        if (start != kNoInst) {
+            std::vector<InstId> path;
+            std::vector<char> on_path(instances_.size(), 0);
+            InstId cur = start;
+            while (!on_path[cur]) {
+                on_path[cur] = 1;
+                path.push_back(cur);
+                const int arity = function_arity(type_of(cur).function);
+                for (int p = 0; p < arity; ++p) {
+                    const NetId n = instances_[cur].fanin[static_cast<std::size_t>(p)];
+                    if (n == kNoNet || nets_[n].driver_kind != DriverKind::Instance) continue;
+                    const InstId d = nets_[n].driver_inst;
+                    if (!is_sequential(type_of(d).function) && pending[d] > 0) {
+                        cur = d;
+                        break;
+                    }
+                }
+            }
+            // `cur` closes the cycle; report from its first occurrence.
+            const auto first = std::find(path.begin(), path.end(), cur);
+            const std::size_t shown = std::min<std::size_t>(
+                8, static_cast<std::size_t>(path.end() - first));
+            for (std::size_t k = 0; k < shown; ++k) {
+                if (k) cycle += " -> ";
+                cycle += instances_[*(first + static_cast<std::ptrdiff_t>(k))].name;
+            }
+            if (static_cast<std::size_t>(path.end() - first) > shown) {
+                cycle += " -> ...";
+            } else {
+                cycle += " -> " + instances_[cur].name;
+            }
+        }
+        throw std::runtime_error(
+            "topological_order: combinational loop in " + name_ +
+            (cycle.empty() ? std::string()
+                           : " involving instance " + instances_[start].name +
+                                 " (cycle: " + cycle + ")"));
     }
     // Cache only on success so a loopy netlist keeps throwing until fixed.
     topo_cache_ = std::move(order);

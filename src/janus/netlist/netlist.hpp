@@ -78,7 +78,11 @@ class Netlist {
     /// used when restructuring (e.g. scan reorder moves the chain tail).
     void set_primary_output(const std::string& name, NetId net);
     /// Instantiates library cell `type` driving a fresh output net. `fanins`
-    /// must match the cell's arity. Returns the instance id.
+    /// must match the cell's arity. Returns the instance id. A fanin may be
+    /// kNoNet to defer the connection: file readers use this for forward
+    /// references (the driving net appears later in the file) and must wire
+    /// every pin with connect_input() before handing the netlist out —
+    /// validate() reports any pin left dangling.
     InstId add_instance(std::string name, std::size_t type,
                         const std::vector<NetId>& fanins);
     /// Rewires input pin `pin` of `inst` to `net`.

@@ -1,0 +1,112 @@
+#pragma once
+/// \file scenario.hpp
+/// Scenario-matrix regression harness: sweep design x corner x
+/// utilization x layer-budget combinations through the full FlowEngine
+/// pipeline and diff the QoR against pinned per-scenario baselines.
+///
+/// The designs are the committed ingestion corpus (tests/corpus/): real
+/// circuit files in AIGER/BLIF/ISCAS85/.jnl form, parsed through the
+/// format readers and bridged onto the flow's cell library — so a parser
+/// regression, a flow QoR regression, or a determinism break all surface
+/// as a failed scenario diff. bench/bench_scenarios.cpp drives this module
+/// (`--smoke` subset in ctest, full matrix + `--update-baselines` for
+/// refreshing tests/corpus/scenario_baselines.json; workflow notes in
+/// docs/IO.md).
+///
+/// Baselines pin the discrete QoR exactly (instances, wirelength, resized
+/// cells, legality) and the analog QoR (area, WNS, power, skew) to a
+/// relative tolerance; runtime is compared only when explicitly enabled
+/// (never in CI smoke, where machines and sanitizers skew it).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "janus/flow/flow.hpp"
+#include "janus/netlist/cell_library.hpp"
+#include "janus/netlist/netlist.hpp"
+#include "janus/server/protocol.hpp"
+
+namespace janus::scenario {
+
+/// Nearest ancestor of the CWD containing ROADMAP.md (the repo marker);
+/// empty string when not inside the repo. Corpus and baseline paths
+/// resolve against this so binaries work from any build directory.
+std::string find_repo_root();
+
+/// Loads a circuit file, dispatching on extension:
+///   .jnl          native netlist (io.hpp)
+///   .bench        ISCAS85/89 (iscas.hpp)
+///   .blif         Berkeley BLIF (blif.hpp)
+///   .aag / .aig   ASCII / binary AIGER via the netlist bridge
+/// Throws std::runtime_error on unknown extensions, unreadable files, or
+/// parse errors (which carry file positions).
+Netlist load_design(const std::string& path,
+                    std::shared_ptr<const CellLibrary> lib);
+
+/// One cell of the scenario matrix.
+struct ScenarioCell {
+    std::string design;   ///< corpus file name, e.g. "mul8.bench"
+    std::string corner;   ///< TimingCorner name from standard_corners()
+    double utilization = 0.65;
+    int routing_layers = 6;
+
+    /// Stable identity used as the baseline key, e.g. "mul8.bench@slow/u0.60/L5".
+    std::string key() const;
+};
+
+/// Cartesian sweep description; expand() emits cells in deterministic
+/// (design-major) order.
+struct ScenarioMatrix {
+    std::vector<std::string> designs;
+    std::vector<std::string> corners;
+    std::vector<double> utilizations;
+    std::vector<int> layer_budgets;
+    std::vector<ScenarioCell> expand() const;
+};
+
+/// QoR + corner timing of one executed scenario.
+struct ScenarioResult {
+    ScenarioCell cell;
+    FlowResult flow;
+    double corner_wns_ps = 0;   ///< WNS at the cell's corner (derated)
+    double corner_hold_ps = 0;  ///< hold WNS at the cell's corner
+    std::string error;          ///< non-empty when the run failed
+    bool failed() const { return !error.empty(); }
+};
+
+/// Executes every cell through FlowEngine::run_batch (`workers` threads —
+/// QoR is byte-identical for any value) and runs corner STA on each mapped
+/// design. `base` seeds the non-swept FlowParams. Designs are parsed once
+/// per distinct file from `corpus_dir`.
+std::vector<ScenarioResult> run_scenarios(const std::vector<ScenarioCell>& cells,
+                                          const std::string& corpus_dir,
+                                          std::shared_ptr<const CellLibrary> lib,
+                                          int workers,
+                                          const FlowParams& base = {});
+
+/// Comparison tolerances for baseline diffs.
+struct Tolerances {
+    double analog_rel = 0.05;     ///< area/WNS/power/skew relative band
+    double analog_abs_ps = 1.0;   ///< absolute slack band around zero, ps
+    bool check_runtime = false;   ///< compare runtime_ms at all?
+    double runtime_ratio = 10.0;  ///< max slowdown vs baseline when checked
+};
+
+/// Serializes one result to the pinned-baseline JSON shape.
+server::JsonValue result_json(const ScenarioResult& r);
+
+/// Diffs results against a baseline object (scenario key -> result_json).
+/// Returns human-readable regression descriptions; empty means clean.
+/// Missing baseline entries and failed scenarios are regressions.
+std::vector<std::string> diff_against_baseline(
+    const std::vector<ScenarioResult>& results,
+    const server::JsonValue& baseline, const Tolerances& tol);
+
+/// Reads/writes the baseline file (a single JSON object). load returns a
+/// null JsonValue when the file does not exist.
+server::JsonValue load_baseline(const std::string& path);
+void save_baseline(const std::string& path,
+                   const std::vector<ScenarioResult>& results);
+
+}  // namespace janus::scenario
