@@ -201,6 +201,10 @@ int main(int argc, char** argv) {
     bench::shape_check(
         "panel engine keeps whole-round batches (>= 4 nets/round)",
         base.nets_per_round() >= 4.0);
+    // Floor pinned with the conflict-feedback panel sizing: the fixed 8x8
+    // grid committed only 27.6% of its speculation at this scale.
+    bench::shape_check("speculation commit rate at least 50%",
+                       base.commit_rate() >= 0.5);
     bench::shape_check("route result byte-identical at 2/4/8 workers",
                        all_identical);
     if (hw >= 4) {

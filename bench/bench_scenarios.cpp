@@ -32,7 +32,7 @@ using scenario::ScenarioResult;
 namespace {
 
 const std::vector<std::string> kDesigns = {
-    "c17.bench", "cla16.bench", "mul8.bench",
+    "c17.bench", "cla16.bench", "mul8.bench", "alu8.bench",
     "counter8.blif", "par32.aag", "mul6.aig",
 };
 

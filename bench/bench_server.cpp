@@ -95,7 +95,7 @@ ColdReference cold_reference(const std::string& text,
             const CellType& cur = ctx.netlist.type_of(i);
             for (const std::size_t v : lib.variants(cur.function)) {
                 if (lib.cell(v).drive > cur.drive) {
-                    ref.instance = ctx.netlist.instance(i).name;
+                    ref.instance = std::string(ctx.netlist.instance_name(i));
                     ref.orig_cell = cur.name;
                     ref.cell = lib.cell(v).name;
                     ctx.netlist.instance(i).type = v;

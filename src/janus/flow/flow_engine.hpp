@@ -90,6 +90,12 @@ struct FlowJob {
     Netlist netlist;
     TechnologyNode node;
     FlowParams params;
+    /// Stage names marked skipped in the job's context before it runs.
+    /// The hierarchical flow uses this to pin its blocks to place/route
+    /// only ("optimize"/"map"): the flat design was synthesized once, and
+    /// re-synthesizing a block would restructure logic the stitcher must
+    /// carry back verbatim.
+    std::vector<std::string> skip_stages;
 };
 
 class FlowEngine {

@@ -1,0 +1,90 @@
+#pragma once
+/// \file hier.hpp
+/// Partition-driven hierarchical flow: the megascale path (docs/MEGASCALE.md)
+/// for designs too large to push through one flat place/route. A flat
+/// netlist is min-cut partitioned into K blocks, each block is implemented
+/// independently through the existing staged flow (FlowEngine::run_batch,
+/// which carries the deterministic-workers contract: results are
+/// byte-identical for any worker count), the implemented blocks are
+/// stitched back together — boundary nets reconnected by name, block
+/// placements offset into a floorplan grid — and top-level STA runs on the
+/// merged result.
+///
+/// Contract details:
+///  - Partitioning is serial and depends only on the netlist and
+///    HierParams, never on worker count.
+///  - Block interfaces are name-carried: a cut net becomes a primary output
+///    of its driving block and a primary input of every reading block,
+///    under the flat design's net name. Synthesis inside a block may
+///    restructure freely — the flow preserves PI/PO names — so the stitch
+///    is a pure name join.
+///  - The merged netlist is validated; any dangling boundary is an error.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "janus/flow/flow_engine.hpp"
+
+namespace janus {
+
+struct HierParams {
+    /// Number of partitions (K). Values < 2 run the flat flow unchanged.
+    int num_blocks = 4;
+    /// FM-style boundary refinement sweeps after the initial partition.
+    int refine_passes = 6;
+    /// Allowed block-size imbalance: a move is rejected when it would push
+    /// a block above (1 + balance_slack) * average size.
+    double balance_slack = 0.10;
+    /// Per-block flow knobs (seed, utilization, stage mask, parallelism).
+    /// Each block job gets a copy with the same seed — determinism comes
+    /// from the per-job seeding, not from job isolation tricks.
+    FlowParams block_flow;
+    /// Worker threads for the block batch (FlowEngine::run_batch).
+    int workers = 1;
+    /// Spacing between adjacent block placements in the merged floorplan,
+    /// as a fraction of the widest block dimension.
+    double floorplan_margin = 0.05;
+};
+
+/// Result of min-cut partitioning: block id per instance plus cut metrics.
+struct HierPartition {
+    std::vector<int> block_of;   ///< indexed by InstId, values in [0, K)
+    std::size_t cut_nets = 0;    ///< nets whose pins span >1 block
+    std::size_t num_blocks = 0;
+    std::vector<std::size_t> block_sizes;
+};
+
+/// Deterministic K-way min-cut partitioning: contiguous id-order seeding
+/// (creation order is locality order for generated and ingested designs)
+/// followed by `refine_passes` greedy boundary sweeps that move an instance
+/// to its best-connected block when that strictly reduces the cut and
+/// keeps block sizes within the slack.
+HierPartition partition_min_cut(const Netlist& nl, int num_blocks,
+                                int refine_passes = 6,
+                                double balance_slack = 0.10);
+
+/// One implemented block plus where the stitcher put it.
+struct HierBlockResult {
+    FlowResult flow;     ///< per-block QoR (place/route/STA of the block)
+    Rect placement;      ///< region assigned in the merged floorplan (nm)
+};
+
+struct HierFlowResult {
+    /// Top-level QoR: merged instance/area/HPWL counts and the top STA
+    /// numbers (critical delay, WNS/TNS) over the stitched netlist.
+    FlowResult top;
+    std::vector<HierBlockResult> blocks;
+    std::size_t cut_nets = 0;           ///< partition cut size
+    std::size_t stitched_nets = 0;      ///< boundary nets joined by name
+    /// The stitched, placed top netlist (shared so callers can run further
+    /// analyses without a copy).
+    std::shared_ptr<Netlist> merged;
+};
+
+/// Runs the partition → per-block flow → stitch → top STA pipeline.
+/// Byte-identical for any HierParams::workers value.
+HierFlowResult run_hier_flow(const Netlist& nl, const TechnologyNode& node,
+                             const HierParams& params);
+
+}  // namespace janus

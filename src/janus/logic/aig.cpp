@@ -12,12 +12,22 @@ std::uint64_t strash_key(AigLit a, AigLit b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/// Fibonacci/xor-shift mix of the packed key; the multiply spreads the
+/// low-entropy literal pairs across the high bits, the shift brings them
+/// back down for power-of-two masking.
+std::size_t strash_hash(std::uint64_t key) {
+    key *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(key >> 32);
+}
+
 }  // namespace
 
 Aig::Aig() {
     // Node 0: constant false.
     fanin0_.push_back(0);
     fanin1_.push_back(0);
+    strash_keys_.assign(64, 0);
+    strash_values_.assign(64, 0);
 }
 
 AigLit Aig::add_input(std::string name) {
@@ -46,12 +56,56 @@ AigLit Aig::land(AigLit a, AigLit b) {
     if (a == b) return a;
     if (a == aig_not(b)) return const0();
     const std::uint64_t key = strash_key(a, b);
-    if (const auto it = strash_.find(key); it != strash_.end()) {
-        return aig_lit(it->second, false);
+    if (2 * (strash_count_ + 1) > strash_keys_.size()) strash_grow();
+    const std::size_t mask = strash_keys_.size() - 1;
+    std::size_t i = strash_hash(key) & mask;
+    while (strash_keys_[i] != 0) {
+        if (strash_keys_[i] == key) {
+            ++strash_hits_;
+            return aig_lit(strash_values_[i], false);
+        }
+        i = (i + 1) & mask;
     }
     const std::uint32_t node = new_and_node(a, b);
-    strash_.emplace(key, node);
+    strash_keys_[i] = key;
+    strash_values_[i] = node;
+    ++strash_count_;
     return aig_lit(node, false);
+}
+
+void Aig::strash_grow() {
+    const std::size_t new_size = 2 * strash_keys_.size();
+    std::vector<std::uint64_t> keys(new_size, 0);
+    std::vector<std::uint32_t> values(new_size, 0);
+    const std::size_t mask = new_size - 1;
+    for (std::size_t i = 0; i < strash_keys_.size(); ++i) {
+        if (strash_keys_[i] == 0) continue;
+        std::size_t j = strash_hash(strash_keys_[i]) & mask;
+        while (keys[j] != 0) j = (j + 1) & mask;
+        keys[j] = strash_keys_[i];
+        values[j] = strash_values_[i];
+    }
+    strash_keys_ = std::move(keys);
+    strash_values_ = std::move(values);
+}
+
+std::size_t Aig::memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    bytes += fanin0_.capacity() * sizeof(AigLit);
+    bytes += fanin1_.capacity() * sizeof(AigLit);
+    bytes += inputs_.capacity() * sizeof(std::uint32_t);
+    bytes += strash_keys_.capacity() * sizeof(std::uint64_t);
+    bytes += strash_values_.capacity() * sizeof(std::uint32_t);
+    bytes += input_names_.capacity() * sizeof(std::string);
+    for (const std::string& s : input_names_) {
+        if (s.capacity() > sizeof(std::string)) bytes += s.capacity() + 1;
+    }
+    bytes += outputs_.capacity() * sizeof(std::pair<std::string, AigLit>);
+    for (const auto& [name, lit] : outputs_) {
+        (void)lit;
+        if (name.capacity() > sizeof(std::string)) bytes += name.capacity() + 1;
+    }
+    return bytes;
 }
 
 AigLit Aig::lxor(AigLit a, AigLit b) {
@@ -217,7 +271,7 @@ Aig Aig::from_netlist(const Netlist& nl) {
     Aig aig;
     std::vector<AigLit> net_lit(nl.num_nets(), 0);
     for (const NetId pi : nl.primary_inputs()) {
-        net_lit[pi] = aig.add_input(nl.net(pi).name);
+        net_lit[pi] = aig.add_input(std::string(nl.net_name(pi)));
     }
     for (const InstId i : nl.topological_order()) {
         const Instance& inst = nl.instance(i);

@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "janus/logic/truth_table.hpp"
@@ -92,6 +91,15 @@ class Aig {
     /// boundaries first). Input/output order matches the netlist.
     static Aig from_netlist(const Netlist& nl);
 
+    /// Number of land() calls answered from the unique table (an existing
+    /// node was returned instead of creating a new one). Simplification
+    /// short-circuits (const/idempotence/complement) do not count.
+    std::uint64_t strash_hits() const { return strash_hits_; }
+
+    /// Total heap footprint: node arrays, the strash unique table, and
+    /// input/output bookkeeping (name strings counted at capacity).
+    std::size_t memory_bytes() const;
+
     const std::string& input_name(std::size_t i) const { return input_names_.at(i); }
     /// Renames input i / output o — used by the AIGER reader, whose symbol
     /// table arrives after the nodes it names (aiger.hpp).
@@ -110,9 +118,20 @@ class Aig {
     std::vector<std::uint32_t> inputs_;
     std::vector<std::string> input_names_;
     std::vector<std::pair<std::string, AigLit>> outputs_;
-    std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+
+    // Open-addressed strash unique table (boolector BtorAIGUniqueTable
+    // style): power-of-two capacity, linear probing, grown at 50% load.
+    // strash_keys_ holds the packed (min,max) literal pair; 0 is the empty
+    // sentinel — safe because land() resolves any AND touching literal 0 or
+    // 1 (const0/const1) by simplification before probing, so a stored key
+    // always has both halves >= 2.
+    std::vector<std::uint64_t> strash_keys_;
+    std::vector<std::uint32_t> strash_values_;
+    std::size_t strash_count_ = 0;
+    std::uint64_t strash_hits_ = 0;
 
     std::uint32_t new_and_node(AigLit a, AigLit b);
+    void strash_grow();
 };
 
 }  // namespace janus

@@ -139,21 +139,21 @@ AigerDesign aiger_from_netlist(const Netlist& nl) {
     std::vector<AigLit> lit_of(nl.num_nets(), kUnset);
 
     for (const NetId pi : nl.primary_inputs()) {
-        lit_of[pi] = g.add_input(nl.net(pi).name);
+        lit_of[pi] = g.add_input(std::string(nl.net_name(pi)));
     }
     d.num_inputs = nl.primary_inputs().size();
 
     const std::vector<InstId> seq = nl.sequential_instances();
     for (const InstId id : seq) {
         const NetId q = nl.instance(id).output;
-        lit_of[q] = g.add_input(nl.net(q).name);
+        lit_of[q] = g.add_input(std::string(nl.net_name(q)));
     }
 
     const auto in_lit = [&](InstId id, int pin) {
         const NetId n = nl.instance(id).fanin[static_cast<std::size_t>(pin)];
         if (n == kNoNet || lit_of.at(n) == kUnset) {
             throw std::runtime_error("aiger_from_netlist: instance " +
-                                     nl.instance(id).name +
+                                     std::string(nl.instance_name(id)) +
                                      " reads an undriven net");
         }
         return lit_of[n];
@@ -225,7 +225,7 @@ AigerDesign aiger_from_netlist(const Netlist& nl) {
     for (const InstId id : seq) {
         const Instance& inst = nl.instance(id);
         AigerLatch l;
-        l.name = nl.net(inst.output).name;
+        l.name = std::string(nl.net_name(inst.output));
         if (nl.type_of(id).function == CellFunction::ScanDff) {
             // Keep scan semantics: next = se ? si : d.
             l.next = g.lmux(in_lit(id, 2), in_lit(id, 0), in_lit(id, 1));

@@ -10,12 +10,12 @@ namespace janus {
 void write_netlist(std::ostream& os, const Netlist& nl) {
     os << "design " << nl.name() << "\n";
     for (NetId pi : nl.primary_inputs()) {
-        os << "input " << nl.net(pi).name << " n" << pi << "\n";
+        os << "input " << nl.net_name(pi) << " n" << pi << "\n";
     }
     for (InstId i = 0; i < nl.num_instances(); ++i) {
         const Instance& inst = nl.instance(i);
         const CellType& ct = nl.type_of(i);
-        os << "inst " << inst.name << " " << ct.name << " n" << inst.output;
+        os << "inst " << nl.instance_name(i) << " " << ct.name << " n" << inst.output;
         const int arity = function_arity(ct.function);
         for (int p = 0; p < arity; ++p) {
             os << " n" << inst.fanin[static_cast<std::size_t>(p)];
@@ -37,7 +37,7 @@ void write_placement(std::ostream& os, const Netlist& nl) {
     for (InstId i = 0; i < nl.num_instances(); ++i) {
         const Instance& inst = nl.instance(i);
         if (!inst.placed) continue;
-        os << "place " << inst.name << " " << inst.position.x << " "
+        os << "place " << nl.instance_name(i) << " " << inst.position.x << " "
            << inst.position.y << "\n";
     }
 }
@@ -46,7 +46,7 @@ std::size_t read_placement(std::istream& is, Netlist& nl) {
     // Name -> id index (placements are name-keyed to survive reordering).
     std::map<std::string, InstId> by_name;
     for (InstId i = 0; i < nl.num_instances(); ++i) {
-        by_name[nl.instance(i).name] = i;
+        by_name[std::string(nl.instance_name(i))] = i;
     }
     std::string line;
     std::size_t placed = 0;
@@ -161,7 +161,7 @@ Netlist read_netlist(std::istream& is, std::shared_ptr<const CellLibrary> lib) {
             const auto it = net_by_name.find(pi.fanin_names[p]);
             if (it == net_by_name.end()) {
                 throw std::runtime_error("read_netlist: instance " +
-                                         nl.instance(pi.id).name +
+                                         std::string(nl.instance_name(pi.id)) +
                                          " references undefined net " +
                                          pi.fanin_names[p]);
             }

@@ -17,22 +17,22 @@ void Netlist::invalidate_caches() {
     ++epoch_;
 }
 
-NetId Netlist::add_net(std::string name) {
-    nets_.push_back(Net{std::move(name), DriverKind::None, kNoInst});
+NetId Netlist::add_net(std::string_view name) {
+    nets_.push_back(Net{names_.intern(name), kNoInst, DriverKind::None});
     invalidate_caches();
     return static_cast<NetId>(nets_.size() - 1);
 }
 
-NetId Netlist::add_primary_input(std::string name) {
+NetId Netlist::add_primary_input(std::string_view name) {
     const NetId id = add_net(name);
     nets_[id].driver_kind = DriverKind::PrimaryInput;
     primary_inputs_.push_back(id);
     return id;
 }
 
-void Netlist::add_primary_output(std::string name, NetId net) {
+void Netlist::add_primary_output(std::string_view name, NetId net) {
     assert(net < nets_.size());
-    primary_outputs_.emplace_back(std::move(name), net);
+    primary_outputs_.emplace_back(std::string(name), net);
 }
 
 void Netlist::set_primary_output(const std::string& name, NetId net) {
@@ -46,29 +46,56 @@ void Netlist::set_primary_output(const std::string& name, NetId net) {
     throw std::invalid_argument("set_primary_output: unknown output " + name);
 }
 
-InstId Netlist::add_instance(std::string name, std::size_t type,
+InstId Netlist::add_instance(std::string_view name, std::size_t type,
                              const std::vector<NetId>& fanins) {
     const CellType& ct = lib_->cell(type);
     const int arity = function_arity(ct.function);
     if (static_cast<int>(fanins.size()) != arity) {
-        throw std::invalid_argument("add_instance(" + name + "): expected " +
-                                    std::to_string(arity) + " fanins, got " +
-                                    std::to_string(fanins.size()));
+        throw std::invalid_argument("add_instance(" + std::string(name) +
+                                    "): expected " + std::to_string(arity) +
+                                    " fanins, got " + std::to_string(fanins.size()));
     }
     Instance inst;
-    inst.name = std::move(name);
-    inst.type = type;
+    inst.name = names_.intern(name);
+    inst.type = static_cast<std::uint32_t>(type);
     for (std::size_t i = 0; i < fanins.size(); ++i) {
         assert(fanins[i] == kNoNet || fanins[i] < nets_.size());
         inst.fanin[i] = fanins[i];
     }
     const InstId id = static_cast<InstId>(instances_.size());
-    inst.output = add_net(inst.name + ".out");
-    nets_[inst.output].driver_kind = DriverKind::Instance;
-    nets_[inst.output].driver_inst = id;
-    instances_.push_back(std::move(inst));
+    // The output net's name is derived ("<name>.out") rather than interned:
+    // storing the instance's NameId with the kDerivedName flag avoids a
+    // second near-duplicate string per instance in the name pool.
+    assert(!(inst.name & kDerivedName) && "name pool exceeded 2 GiB");
+    nets_.push_back(Net{inst.name | kDerivedName, id, DriverKind::Instance});
+    inst.output = static_cast<NetId>(nets_.size() - 1);
+    instances_.push_back(inst);
     invalidate_caches();
     return id;
+}
+
+std::string Netlist::net_name(NetId id) const {
+    const NameId nm = nets_.at(id).name;
+    if (nm == kNoName) return std::string();
+    if (nm & kDerivedName) {
+        return std::string(names_.view(nm & ~kDerivedName)) + ".out";
+    }
+    return std::string(names_.view(nm));
+}
+
+NameId Netlist::net_name_id(std::string_view name) const {
+    // An explicitly interned name wins (it was created verbatim by
+    // add_net); otherwise try the derived "<inst>.out" encoding that
+    // add_instance gives auto-created output nets.
+    const NameId direct = names_.find(name);
+    if (direct != kNoName) return direct;
+    constexpr std::string_view kSuffix = ".out";
+    if (name.size() > kSuffix.size() && name.ends_with(kSuffix)) {
+        const NameId base =
+            names_.find(name.substr(0, name.size() - kSuffix.size()));
+        if (base != kNoName) return base | kDerivedName;
+    }
+    return kNoName;
 }
 
 void Netlist::connect_input(InstId inst, int pin, NetId net) {
@@ -79,19 +106,39 @@ void Netlist::connect_input(InstId inst, int pin, NetId net) {
     invalidate_caches();
 }
 
-const std::vector<SinkRef>& Netlist::sinks(NetId net) const {
-    if (!sink_cache_valid_) {
-        sink_cache_.assign(nets_.size(), {});
-        for (InstId i = 0; i < instances_.size(); ++i) {
-            const int arity = function_arity(type_of(i).function);
-            for (int p = 0; p < arity; ++p) {
-                const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
-                if (n != kNoNet) sink_cache_[n].push_back(SinkRef{i, p});
-            }
+void Netlist::build_sink_csr() const {
+    // Two-pass counting-sort fill. The pool order must match the historical
+    // per-net push order — instance-id-major, pin-minor — so downstream
+    // consumers (router net ordering, timing graph edges) see sinks in the
+    // exact sequence the old vector<vector> cache produced.
+    sink_offsets_.assign(nets_.size() + 1, 0);
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        const int arity = function_arity(type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+            if (n != kNoNet) ++sink_offsets_[n + 1];
         }
-        sink_cache_valid_ = true;
     }
-    return sink_cache_.at(net);
+    for (std::size_t n = 1; n < sink_offsets_.size(); ++n) {
+        sink_offsets_[n] += sink_offsets_[n - 1];
+    }
+    sink_pool_.resize(sink_offsets_.back());
+    std::vector<std::uint32_t> cursor(sink_offsets_.begin(), sink_offsets_.end() - 1);
+    for (InstId i = 0; i < instances_.size(); ++i) {
+        const int arity = function_arity(type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = instances_[i].fanin[static_cast<std::size_t>(p)];
+            if (n != kNoNet) sink_pool_[cursor[n]++] = SinkRef{i, p};
+        }
+    }
+    sink_cache_valid_ = true;
+}
+
+std::span<const SinkRef> Netlist::sinks(NetId net) const {
+    if (!sink_cache_valid_) build_sink_csr();
+    if (net >= nets_.size()) throw std::out_of_range("sinks: bad net id");
+    return std::span<const SinkRef>(sink_pool_.data() + sink_offsets_[net],
+                                    sink_offsets_[net + 1] - sink_offsets_[net]);
 }
 
 std::size_t Netlist::fanout_count(NetId net) const {
@@ -145,8 +192,8 @@ const std::vector<InstId>& Netlist::topological_order() const {
         const InstId i = ready[head++];
         order.push_back(i);
         for (const SinkRef& s : sinks(instances_[i].output)) {
-            if (is_sequential(type_of(s.inst).function)) continue;
-            if (--pending[s.inst] == 0) ready.push_back(s.inst);
+            if (is_sequential(type_of(s.inst()).function)) continue;
+            if (--pending[s.inst()] == 0) ready.push_back(s.inst());
         }
     }
     if (order.size() != num_comb) {
@@ -183,19 +230,21 @@ const std::vector<InstId>& Netlist::topological_order() const {
                 8, static_cast<std::size_t>(path.end() - first));
             for (std::size_t k = 0; k < shown; ++k) {
                 if (k) cycle += " -> ";
-                cycle += instances_[*(first + static_cast<std::ptrdiff_t>(k))].name;
+                cycle += instance_name(*(first + static_cast<std::ptrdiff_t>(k)));
             }
             if (static_cast<std::size_t>(path.end() - first) > shown) {
                 cycle += " -> ...";
             } else {
-                cycle += " -> " + instances_[cur].name;
+                cycle += " -> ";
+                cycle += instance_name(cur);
             }
         }
         throw std::runtime_error(
             "topological_order: combinational loop in " + name_ +
-            (cycle.empty() ? std::string()
-                           : " involving instance " + instances_[start].name +
-                                 " (cycle: " + cycle + ")"));
+            (cycle.empty()
+                 ? std::string()
+                 : " involving instance " + std::string(instance_name(start)) +
+                       " (cycle: " + cycle + ")"));
     }
     // Cache only on success so a loopy netlist keeps throwing until fixed.
     topo_cache_ = std::move(order);
@@ -231,6 +280,35 @@ double Netlist::total_leakage_nw() const {
     return l;
 }
 
+std::size_t Netlist::memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    bytes += instances_.capacity() * sizeof(Instance);
+    bytes += nets_.capacity() * sizeof(Net);
+    bytes += names_.memory_bytes();
+    bytes += primary_inputs_.capacity() * sizeof(NetId);
+    for (const auto& [po_name, po_net] : primary_outputs_) {
+        (void)po_net;
+        // Heap block behind each PO name string (SSO names cost nothing).
+        if (po_name.capacity() > sizeof(std::string)) bytes += po_name.capacity() + 1;
+    }
+    bytes += primary_outputs_.capacity() * sizeof(std::pair<std::string, NetId>);
+    bytes += sink_offsets_.capacity() * sizeof(std::uint32_t);
+    bytes += sink_pool_.capacity() * sizeof(SinkRef);
+    bytes += topo_cache_.capacity() * sizeof(InstId);
+    bytes += name_.capacity() > sizeof(std::string) ? name_.capacity() + 1 : 0;
+    return bytes;
+}
+
+void Netlist::shrink_to_fit() {
+    instances_.shrink_to_fit();
+    nets_.shrink_to_fit();
+    primary_inputs_.shrink_to_fit();
+    primary_outputs_.shrink_to_fit();
+    sink_offsets_.shrink_to_fit();
+    sink_pool_.shrink_to_fit();
+    topo_cache_.shrink_to_fit();
+}
+
 std::vector<std::string> Netlist::validate() const {
     std::vector<std::string> problems;
     // Count drivers per net.
@@ -240,28 +318,29 @@ std::vector<std::string> Netlist::validate() const {
     }
     for (InstId i = 0; i < instances_.size(); ++i) {
         const Instance& inst = instances_[i];
+        const std::string iname(instance_name(i));
         const int arity = function_arity(type_of(i).function);
         for (int p = 0; p < arity; ++p) {
             if (inst.fanin[static_cast<std::size_t>(p)] == kNoNet) {
-                problems.push_back("instance " + inst.name + " pin " +
+                problems.push_back("instance " + iname + " pin " +
                                    std::to_string(p) + " unconnected");
             }
         }
         for (int p = arity; p < kMaxFanin; ++p) {
             if (inst.fanin[static_cast<std::size_t>(p)] != kNoNet) {
-                problems.push_back("instance " + inst.name +
+                problems.push_back("instance " + iname +
                                    " has extra fanin at pin " + std::to_string(p));
             }
         }
         if (inst.output == kNoNet) {
-            problems.push_back("instance " + inst.name + " has no output net");
+            problems.push_back("instance " + iname + " has no output net");
         } else if (nets_[inst.output].driver_inst != i) {
-            problems.push_back("instance " + inst.name + " output driver mismatch");
+            problems.push_back("instance " + iname + " output driver mismatch");
         }
     }
     for (NetId n = 0; n < nets_.size(); ++n) {
         if (drivers[n] == 0 && (fanout_count(n) > 0)) {
-            problems.push_back("net " + nets_[n].name + " has sinks but no driver");
+            problems.push_back("net " + net_name(n) + " has sinks but no driver");
         }
     }
     return problems;

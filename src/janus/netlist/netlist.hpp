@@ -8,17 +8,29 @@
 /// output) and any number of sinks (instance inputs or primary outputs).
 /// Instances have at most four logic inputs and one output. Sequential
 /// elements are DFF/SDFF instances; their Q output is the instance output.
+///
+/// Storage is megascale-lean (docs/MEGASCALE.md): names are interned into a
+/// shared NameTable and objects carry 32-bit NameIds instead of
+/// std::strings, Instance shrinks its cell type to 32 bits and tucks the
+/// placed flag into padding (48 bytes total, down from 88), Net is 12 bytes
+/// (down from 40), and the sinks() cache is a flat CSR (offset + packed sink arrays)
+/// instead of a vector of per-net vectors. All of this is observationally
+/// pure: names round-trip exactly, iteration orders are unchanged, and flow
+/// outputs are byte-identical to the string-per-object layout.
 
 #include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "janus/netlist/cell_library.hpp"
 #include "janus/util/geometry.hpp"
+#include "janus/util/name_table.hpp"
 
 namespace janus {
 
@@ -33,27 +45,48 @@ inline constexpr int kMaxFanin = 4;
 /// What drives a net.
 enum class DriverKind : std::uint8_t { None, PrimaryInput, Instance };
 
-/// One cell instance.
+/// One cell instance. 48 bytes (was 88): fanins/output/name are 32-bit ids,
+/// the library type is a 32-bit index, placed is a one-byte flag riding in
+/// what would otherwise be padding before the 8-aligned position, and the
+/// name string lives in the owning Netlist's NameTable
+/// (Netlist::instance_name()).
 struct Instance {
-    std::string name;
-    std::size_t type = 0;  ///< index into the CellLibrary
     std::array<NetId, kMaxFanin> fanin{kNoNet, kNoNet, kNoNet, kNoNet};
     NetId output = kNoNet;
-    Point position;        ///< placement location in DBU (0,0 until placed)
-    bool placed = false;
+    NameId name = kNoName;  ///< interned; see Netlist::instance_name()
+    std::uint32_t type = 0; ///< index into the CellLibrary
+    bool placed = false;    ///< position is meaningful when set
+    Point position;         ///< placement location in DBU (0,0 until placed)
 };
 
-/// One net (single driver, multiple sinks).
+/// Marks a Net::name as *derived*: the low 31 bits are the driving
+/// instance's NameId and the printable name is that string + ".out".
+/// Auto-created instance output nets — the overwhelming majority of nets in
+/// any real design — carry this flag instead of interning a second,
+/// near-duplicate string per instance. kNoName has the bit set too, so test
+/// for kNoName first.
+inline constexpr NameId kDerivedName = 0x80000000u;
+
+/// One net (single driver, multiple sinks). 12 bytes; the name string lives
+/// in the owning Netlist's NameTable (Netlist::net_name()), possibly
+/// kDerivedName-encoded.
 struct Net {
-    std::string name;
-    DriverKind driver_kind = DriverKind::None;
+    NameId name = kNoName;         ///< interned or derived; see Netlist::net_name()
     InstId driver_inst = kNoInst;  ///< valid when driver_kind == Instance
+    DriverKind driver_kind = DriverKind::None;
 };
 
-/// A sink reference: input pin `pin` of instance `inst`.
+/// A sink reference: input pin `pin()` of instance `inst()`. Packed into
+/// one 32-bit word (pin fits 2 bits since kMaxFanin == 4), which halves the
+/// CSR sink pool; the 2^30 instance ceiling is far above the 32-bit id
+/// space already implied elsewhere.
 struct SinkRef {
-    InstId inst;
-    int pin;
+    std::uint32_t bits = 0;
+    constexpr SinkRef() = default;
+    constexpr SinkRef(InstId inst, int pin)
+        : bits((inst << 2) | static_cast<std::uint32_t>(pin)) {}
+    constexpr InstId inst() const { return bits >> 2; }
+    constexpr int pin() const { return static_cast<int>(bits & 3u); }
     friend bool operator==(const SinkRef&, const SinkRef&) = default;
 };
 
@@ -69,11 +102,11 @@ class Netlist {
 
     // --- construction -----------------------------------------------------
     /// Creates a floating net.
-    NetId add_net(std::string name);
+    NetId add_net(std::string_view name);
     /// Creates a primary input driving a fresh net; returns that net.
-    NetId add_primary_input(std::string name);
+    NetId add_primary_input(std::string_view name);
     /// Marks `net` as observed by a primary output.
-    void add_primary_output(std::string name, NetId net);
+    void add_primary_output(std::string_view name, NetId net);
     /// Repoints an existing primary output (by name) at a different net;
     /// used when restructuring (e.g. scan reorder moves the chain tail).
     void set_primary_output(const std::string& name, NetId net);
@@ -83,7 +116,7 @@ class Netlist {
     /// references (the driving net appears later in the file) and must wire
     /// every pin with connect_input() before handing the netlist out —
     /// validate() reports any pin left dangling.
-    InstId add_instance(std::string name, std::size_t type,
+    InstId add_instance(std::string_view name, std::size_t type,
                         const std::vector<NetId>& fanins);
     /// Rewires input pin `pin` of `inst` to `net`.
     void connect_input(InstId inst, int pin, NetId net);
@@ -98,6 +131,25 @@ class Netlist {
     const std::vector<Net>& nets() const { return nets_; }
     const CellType& type_of(InstId id) const { return lib_->cell(instances_.at(id).type); }
 
+    /// Name of an instance, viewed from the shared NameTable. Valid for the
+    /// lifetime of the netlist (interned storage is append-only).
+    std::string_view instance_name(InstId id) const {
+        return names_.view(instances_.at(id).name);
+    }
+    /// Name of a net. Returns an owning string because derived names
+    /// ("<inst>.out", the auto-created instance output nets) are
+    /// materialized on demand instead of being stored.
+    std::string net_name(NetId id) const;
+    /// Resolves a printable net name back to its (possibly
+    /// kDerivedName-encoded) NameId; kNoName when no net could carry it.
+    /// Query-by-name maps key on the returned id (server sessions).
+    NameId net_name_id(std::string_view name) const;
+    /// The shared string pool instance/net names intern into. Lookups that
+    /// start from an external string (e.g. server ECO requests) resolve the
+    /// name to a NameId once via names().find() and compare 32-bit ids from
+    /// then on.
+    const NameTable& names() const { return names_; }
+
     const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
     /// Primary outputs as (name, net) pairs.
     const std::vector<std::pair<std::string, NetId>>& primary_outputs() const {
@@ -105,8 +157,10 @@ class Netlist {
     }
 
     /// Sinks of a net (instance input pins; primary outputs not included).
-    /// Valid until the netlist is next modified.
-    const std::vector<SinkRef>& sinks(NetId net) const;
+    /// A view into the flat CSR sink cache, rebuilt lazily per mutation
+    /// epoch; valid until the netlist is next modified. Sink order is the
+    /// instance-id-major, pin-minor scan order (stable across rebuilds).
+    std::span<const SinkRef> sinks(NetId net) const;
     /// Number of instance sinks plus primary-output observers on a net.
     std::size_t fanout_count(NetId net) const;
 
@@ -136,6 +190,20 @@ class Netlist {
     /// Sum of instance leakage in nW.
     double total_leakage_nw() const;
 
+    /// Total heap footprint of the design storage: instance/net arrays, the
+    /// interned name pool, primary-port records, and the current sink-CSR /
+    /// topological-order caches. Measured from container capacities so the
+    /// number is the real reservation, not the logical size; the megascale
+    /// bench (bench_e5_megascale) divides this by num_instances() and diffs
+    /// it against the recorded legacy (string-per-object) layout.
+    std::size_t memory_bytes() const;
+
+    /// Releases growth slack in the id arrays and caches (geometric
+    /// push_back growth can leave up to 2x reserved). Call after bulk
+    /// construction when the design will live a long time — e.g. megascale
+    /// runs that hold millions of instances through a full flow.
+    void shrink_to_fit();
+
     /// Checks structural sanity (every net driven at most once, arities
     /// consistent, no dangling instance inputs). Returns a list of problem
     /// descriptions; empty means the netlist is well formed.
@@ -155,19 +223,27 @@ class Netlist {
 
   private:
     void invalidate_caches();
+    void build_sink_csr() const;
 
     std::shared_ptr<const CellLibrary> lib_;
     std::string name_;
+    NameTable names_;
     std::vector<Instance> instances_;
     std::vector<Net> nets_;
     std::vector<NetId> primary_inputs_;
     std::vector<std::pair<std::string, NetId>> primary_outputs_;
 
-    mutable std::vector<std::vector<SinkRef>> sink_cache_;
+    // Flat CSR sink cache: sinks of net n are
+    // sink_pool_[sink_offsets_[n] .. sink_offsets_[n + 1]).
+    mutable std::vector<std::uint32_t> sink_offsets_;
+    mutable std::vector<SinkRef> sink_pool_;
     mutable bool sink_cache_valid_ = false;
     mutable std::vector<InstId> topo_cache_;
     mutable bool topo_cache_valid_ = false;
     std::uint64_t epoch_ = 0;
 };
+
+static_assert(sizeof(Instance) == 48, "Instance packing regressed (was 88)");
+static_assert(sizeof(Net) == 12, "Net packing regressed (was 40)");
 
 }  // namespace janus

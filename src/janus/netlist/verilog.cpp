@@ -3,12 +3,13 @@
 #include <cctype>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 namespace janus {
 namespace {
 
 /// Verilog-safe identifier: JanusEDA names may contain '.'.
-std::string vname(const std::string& name) {
+std::string vname(std::string_view name) {
     std::string out;
     out.reserve(name.size());
     for (const char c : name) {
@@ -35,13 +36,13 @@ void write_verilog(std::ostream& os, const Netlist& nl) {
     // Unique net names: n<id> everywhere, ports aliased with assigns.
     os << "module " << vname(nl.name()) << " (";
     bool first = true;
-    const auto port = [&](const std::string& name) {
+    const auto port = [&](std::string_view name) {
         if (!first) os << ", ";
         os << vname(name);
         first = false;
     };
     if (sequential) port("clk");
-    for (const NetId pi : nl.primary_inputs()) port(nl.net(pi).name);
+    for (const NetId pi : nl.primary_inputs()) port(nl.net_name(pi));
     for (const auto& [name, net] : nl.primary_outputs()) {
         (void)net;
         port(name);
@@ -50,7 +51,7 @@ void write_verilog(std::ostream& os, const Netlist& nl) {
 
     if (sequential) os << "  input clk;\n";
     for (const NetId pi : nl.primary_inputs()) {
-        os << "  input " << vname(nl.net(pi).name) << ";\n";
+        os << "  input " << vname(nl.net_name(pi)) << ";\n";
     }
     for (const auto& [name, net] : nl.primary_outputs()) {
         (void)net;
@@ -61,7 +62,7 @@ void write_verilog(std::ostream& os, const Netlist& nl) {
     }
     // Port aliases.
     for (const NetId pi : nl.primary_inputs()) {
-        os << "  assign n" << pi << " = " << vname(nl.net(pi).name) << ";\n";
+        os << "  assign n" << pi << " = " << vname(nl.net_name(pi)) << ";\n";
     }
     for (const auto& [name, net] : nl.primary_outputs()) {
         os << "  assign " << vname(name) << " = n" << net << ";\n";
@@ -70,7 +71,7 @@ void write_verilog(std::ostream& os, const Netlist& nl) {
     for (InstId i = 0; i < nl.num_instances(); ++i) {
         const Instance& inst = nl.instance(i);
         const CellType& ct = nl.type_of(i);
-        os << "  " << vname(ct.name) << " " << vname(inst.name) << " (";
+        os << "  " << vname(ct.name) << " " << vname(nl.instance_name(i)) << " (";
         const int arity = function_arity(ct.function);
         if (is_sequential(ct.function)) {
             os << ".CK(clk), .D(n" << inst.fanin[0] << ")";

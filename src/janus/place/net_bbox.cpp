@@ -75,7 +75,7 @@ NetBBoxCache::NetBBoxCache(const Netlist& nl, const PlacementArea& area,
             insts_[n].push_back(i);
         };
         if (net.driver_kind == DriverKind::Instance) add_inst(net.driver_inst);
-        for (const SinkRef& s : nl.sinks(n)) add_inst(s.inst);
+        for (const SinkRef& s : nl.sinks(n)) add_inst(s.inst());
         // Deduplicate: one bbox contribution per instance, or the boundary
         // counts (and incremental deltas) would double-count multi-pin
         // connections to the same cell.

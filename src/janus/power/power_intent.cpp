@@ -37,7 +37,7 @@ std::size_t PowerIntent::isolation_cells_needed(const Netlist& nl) const {
         // One isolation cell per crossing sink domain.
         std::vector<bool> seen(domains_.size(), false);
         for (const SinkRef& s : nl.sinks(n)) {
-            const std::size_t dst = domain_of_[s.inst];
+            const std::size_t dst = domain_of_[s.inst()];
             if (dst != src && !seen[dst]) {
                 seen[dst] = true;
                 ++count;
@@ -55,7 +55,7 @@ std::size_t PowerIntent::level_shifters_needed(const Netlist& nl) const {
         const std::size_t src = domain_of_[net.driver_inst];
         std::vector<bool> seen(domains_.size(), false);
         for (const SinkRef& s : nl.sinks(n)) {
-            const std::size_t dst = domain_of_[s.inst];
+            const std::size_t dst = domain_of_[s.inst()];
             if (dst != src && !seen[dst] &&
                 domains_[dst].voltage != domains_[src].voltage) {
                 seen[dst] = true;

@@ -44,7 +44,9 @@ struct PendingDomain {
 
 std::map<std::string, InstId> name_index(const Netlist& nl) {
     std::map<std::string, InstId> idx;
-    for (InstId i = 0; i < nl.num_instances(); ++i) idx[nl.instance(i).name] = i;
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        idx[std::string(nl.instance_name(i))] = i;
+    }
     return idx;
 }
 
@@ -197,7 +199,7 @@ void write_power_intent(std::ostream& os, const PowerIntent& intent,
         const PowerDomain& dom = intent.domains()[d];
         if (dialect == IntentDialect::Upf) {
             os << "create_power_domain " << dom.name << " -elements {";
-            for (const InstId i : dom.members) os << " " << nl.instance(i).name;
+            for (const InstId i : dom.members) os << " " << nl.instance_name(i);
             os << " }\n";
             os << "create_supply_net V_" << dom.name << " -voltage " << dom.voltage
                << "\n";
@@ -209,7 +211,7 @@ void write_power_intent(std::ostream& os, const PowerIntent& intent,
             }
         } else {
             os << "create_power_domain -name " << dom.name << " -instances {";
-            for (const InstId i : dom.members) os << " " << nl.instance(i).name;
+            for (const InstId i : dom.members) os << " " << nl.instance_name(i);
             os << " }\n";
             os << "create_nominal_condition -name nc_" << dom.name << " -voltage "
                << dom.voltage << "\n";

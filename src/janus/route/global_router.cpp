@@ -15,6 +15,15 @@ namespace {
 
 constexpr std::size_t kNetsPerPanel = 8;  ///< auto panel-grid sizing target
 constexpr int kMaxPanelsPerAxis = 8;
+/// Round-size cap and conflict-feedback threshold for the auto panel grid.
+/// An aborting net drags the rest of its panel chain to the next round (the
+/// chain routed on top of its replacement), so thousand-net chains waste
+/// almost a whole round on one early conflict: rounds admit at most this
+/// many pending nets (the rest defer, unspeculated), and rounds at the cap
+/// additionally shrink the panel grid when the previous round's conflict
+/// rate ran high. Small pinned-baseline scenario designs never reach this
+/// count and keep their exact schedules.
+constexpr std::size_t kPanelFeedbackMinNets = 1024;
 
 /// Epoch-stamped gcell claims that remember which panel wrote each stamp,
 /// so a panel's own chained commits are never mistaken for conflicts.
@@ -208,8 +217,8 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
                                     opts.gcells_x, opts.gcells_y));
         }
         for (const SinkRef& s : nl.sinks(n)) {
-            if (nl.instance(s.inst).placed) {
-                pins.push_back(gcell_of(nl.instance(s.inst).position, area.die,
+            if (nl.instance(s.inst()).placed) {
+                pins.push_back(gcell_of(nl.instance(s.inst()).position, area.die,
                                         opts.gcells_x, opts.gcells_y));
             }
         }
@@ -294,6 +303,17 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
                static_cast<std::size_t>(c.x);
     };
 
+    // Conflict feedback for the auto-sized panel grid: when a round aborts
+    // most of its speculation (windows overlapping foreign commits), halve
+    // the panels per axis for subsequent rounds so chains get larger and
+    // cross-panel windows rarer; relax back when commits flow again. The
+    // shrink level is a pure function of the (deterministic) round history
+    // — commit/abort outcomes never depend on worker scheduling — so the
+    // byte-identity contract survives.
+    int conflict_shrink = 0;
+    std::size_t fb_speculated = 0;
+    std::size_t fb_conflicts = 0;
+
     int iter = 0;
     for (; iter < opts.max_iterations && grid.total_overflow() > 0; ++iter) {
         grid.accumulate_history();
@@ -318,11 +338,26 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
             const bool shifted = (res.reroute_rounds % 2) == 1;
             ++res.reroute_rounds;
 
-            const int tiles =
+            // Admit at most kPanelFeedbackMinNets nets (in pending order —
+            // a pure prefix, so the schedule stays worker-independent);
+            // the rest defer to later rounds behind this round's aborts.
+            std::vector<std::size_t> deferred;
+            if (opts.panel_grid == 0 &&
+                pending.size() > kPanelFeedbackMinNets) {
+                deferred.assign(pending.begin() + kPanelFeedbackMinNets,
+                                pending.end());
+                pending.resize(kPanelFeedbackMinNets);
+            }
+
+            int tiles =
                 opts.panel_grid > 0
                     ? std::min(opts.panel_grid, kMaxPanelsPerAxis)
                     : RegionGrid::auto_tiles_per_axis(
                           pending.size(), kNetsPerPanel, kMaxPanelsPerAxis);
+            if (opts.panel_grid == 0 &&
+                pending.size() >= kPanelFeedbackMinNets) {
+                tiles = std::max(1, tiles >> conflict_shrink);
+            }
             const RegionGrid panel_grid(0, 0, opts.gcells_x, opts.gcells_y,
                                         tiles, tiles);
             const std::size_t panels =
@@ -415,6 +450,22 @@ GlobalRouteResult route_design(const Netlist& nl, const PlacementArea& area,
             }
             // Progress is guaranteed: the first candidate of the first
             // non-empty panel sees no foreign stamps and always commits.
+            pending.insert(pending.end(), deferred.begin(), deferred.end());
+
+            // Update the conflict feedback from this round's outcome.
+            const std::size_t round_spec = res.speculated_nets - fb_speculated;
+            const std::size_t round_conf = res.reroute_conflicts - fb_conflicts;
+            fb_speculated = res.speculated_nets;
+            fb_conflicts = res.reroute_conflicts;
+            if (round_spec > 0) {
+                const double rate = static_cast<double>(round_conf) /
+                                    static_cast<double>(round_spec);
+                if (rate > 0.4 && conflict_shrink < 3) {
+                    ++conflict_shrink;
+                } else if (rate < 0.15 && conflict_shrink > 0) {
+                    --conflict_shrink;
+                }
+            }
         }
     }
 

@@ -139,6 +139,7 @@ JobHandle FlowScheduler::submit(FlowJob job, JobPriority priority) {
             const std::string design = job.netlist.name();
             try {
                 FlowContext ctx(std::move(job.netlist), job.node, job.params);
+                for (const std::string& s : job.skip_stages) ctx.skip(s);
                 ScopedLogContext log_ctx("batch:" + ctx.result.design);
                 try {
                     engine->run_until(ctx, engine->stages().size());

@@ -73,6 +73,8 @@ void Session::refresh_name_maps() {
     for (std::size_t n = 0; n < nets.size(); ++n) {
         net_by_name_.emplace(nets[n].name, static_cast<NetId>(n));
     }
+    // insts[i].name / nets[n].name are already NameIds — no hashing of the
+    // strings themselves happens here.
     names_epoch_ = epoch;
     names_valid_ = true;
 }
@@ -118,7 +120,7 @@ TimingOutcome Session::apply_eco(const std::vector<EcoEdit>& edits) {
     for (const EcoEdit& e : edits) {
         ResolvedEdit r;
         r.kind = e.kind;
-        const auto it = inst_by_name_.find(e.instance);
+        const auto it = inst_by_name_.find(nl.names().find(e.instance));
         if (it == inst_by_name_.end()) {
             throw std::invalid_argument("eco: unknown instance \"" +
                                         e.instance + "\"");
@@ -161,7 +163,7 @@ TimingOutcome Session::apply_eco(const std::vector<EcoEdit>& edits) {
                         "eco: rewire pin " + std::to_string(e.pin) +
                         " out of range for \"" + e.instance + "\"");
                 }
-                const auto net_it = net_by_name_.find(e.net);
+                const auto net_it = net_by_name_.find(nl.net_name_id(e.net));
                 if (net_it == net_by_name_.end()) {
                     throw std::invalid_argument("eco: unknown net \"" + e.net +
                                                 "\"");

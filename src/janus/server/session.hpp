@@ -115,9 +115,13 @@ class Session {
     std::uint64_t bbox_epoch_ = 0;
     bool bbox_valid_ = false;
 
-    // Name lookup (rebuilt when the netlist structure changes).
-    std::unordered_map<std::string, InstId> inst_by_name_;
-    std::unordered_map<std::string, NetId> net_by_name_;
+    // Name lookup (rebuilt when the netlist structure changes). Keys are
+    // NameIds straight out of Instance::name / Net::name (net keys may be
+    // kDerivedName-encoded): external strings are resolved once via
+    // names().find() / net_name_id(), so the maps stay 8 bytes per entry
+    // instead of owning a second copy of every design name.
+    std::unordered_map<NameId, InstId> inst_by_name_;
+    std::unordered_map<NameId, NetId> net_by_name_;
     std::uint64_t names_epoch_ = 0;
     bool names_valid_ = false;
 

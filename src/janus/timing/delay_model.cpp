@@ -30,7 +30,7 @@ double estimate_net_length_um(const Netlist& nl, NetId net, const WireModel& wm)
         }
     }
     for (const SinkRef& s : nl.sinks(net)) {
-        const Instance& i = nl.instance(s.inst);
+        const Instance& i = nl.instance(s.inst());
         if (i.placed) {
             pins.push_back(i.position);
         } else {
@@ -47,7 +47,7 @@ double estimate_net_length_um(const Netlist& nl, NetId net, const WireModel& wm)
 double net_load_ff(const Netlist& nl, NetId net, const WireModel& wm) {
     double cap = estimate_net_length_um(nl, net, wm) * wm.cap_ff_per_um;
     for (const SinkRef& s : nl.sinks(net)) {
-        cap += nl.type_of(s.inst).input_cap_ff;
+        cap += nl.type_of(s.inst()).input_cap_ff;
     }
     return cap;
 }

@@ -21,12 +21,12 @@ std::string format_timing_report(const Netlist& nl, const TimingReport& r) {
        << " ps, fmax " << r.fmax_ghz << " GHz, WNS " << r.wns_ps << " ps, TNS "
        << r.tns_ps << " ps (" << (r.met() ? "MET" : "VIOLATED") << ")\n";
     if (r.worst_endpoint != kNoNet) {
-        os << "worst endpoint: net " << nl.net(r.worst_endpoint).name
+        os << "worst endpoint: net " << nl.net_name(r.worst_endpoint)
            << " (slack " << r.wns_ps << " ps)\n";
     }
     os << "critical path (" << r.critical_path.size() << " stages):";
     for (const InstId i : r.critical_path) {
-        os << " " << nl.instance(i).name << "(" << nl.type_of(i).name << ")";
+        os << " " << nl.instance_name(i) << "(" << nl.type_of(i).name << ")";
     }
     os << "\n";
     return os.str();

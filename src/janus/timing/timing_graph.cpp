@@ -132,9 +132,9 @@ void TimingGraph::eval_backward(InstId i) {
     const NetId out = nl_->instance(i).output;
     double req = endpoint_base_[out];
     for (const SinkRef& s : nl_->sinks(out)) {
-        if (is_sequential(nl_->type_of(s.inst).function)) continue;
+        if (is_sequential(nl_->type_of(s.inst()).function)) continue;
         req = std::min(req,
-                       required_[nl_->instance(s.inst).output] - gate_delay_[s.inst]);
+                       required_[nl_->instance(s.inst()).output] - gate_delay_[s.inst()]);
     }
     required_[out] = req;
 }
@@ -142,9 +142,9 @@ void TimingGraph::eval_backward(InstId i) {
 void TimingGraph::recompute_source_required(NetId net) {
     double req = endpoint_base_[net];
     for (const SinkRef& s : nl_->sinks(net)) {
-        if (is_sequential(nl_->type_of(s.inst).function)) continue;
+        if (is_sequential(nl_->type_of(s.inst()).function)) continue;
         req = std::min(req,
-                       required_[nl_->instance(s.inst).output] - gate_delay_[s.inst]);
+                       required_[nl_->instance(s.inst()).output] - gate_delay_[s.inst()]);
     }
     required_[net] = req;
 }
@@ -305,7 +305,7 @@ TimingUpdateStats TimingGraph::update() {
             if (arrival_[out] != old_arr || min_arrival_[out] != old_min) {
                 touched.push_back(out);
                 for (const SinkRef& s : nl_->sinks(out)) {
-                    if (level_of_[s.inst] >= 0) enqueue_forward(s.inst);
+                    if (level_of_[s.inst()] >= 0) enqueue_forward(s.inst());
                 }
             }
             // Requireds depend on delays and constraints, never on

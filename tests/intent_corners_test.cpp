@@ -46,7 +46,7 @@ TEST(PowerIntentIo, ParsesUpf) {
     EXPECT_TRUE(d.can_shutdown);
     EXPECT_DOUBLE_EQ(d.on_fraction, 0.25);
     ASSERT_EQ(d.members.size(), 1u);
-    EXPECT_EQ(nl.instance(d.members[0]).name, "u_core");
+    EXPECT_EQ(nl.instance_name(d.members[0]), "u_core");
 }
 
 TEST(PowerIntentIo, ParsesCpf) {

@@ -65,7 +65,7 @@ std::string serialize(const Netlist& nl) {
     os << nl.num_instances() << '/' << nl.num_nets() << ';';
     for (InstId i = 0; i < nl.num_instances(); ++i) {
         const Instance& inst = nl.instance(i);
-        os << inst.name << ':' << inst.type << ':' << inst.output << ':';
+        os << nl.instance_name(i) << ':' << inst.type << ':' << inst.output << ':';
         for (const NetId f : inst.fanin) os << f << ',';
         os << ';';
     }

@@ -1,0 +1,262 @@
+/// Unit coverage for the megascale storage overhaul (docs/MEGASCALE.md):
+/// memory_bytes() accounting, CSR sinks() equivalence against a from-scratch
+/// fanin scan across randomized mutations, and open-addressed strash
+/// unique-table equivalence (same hit count, same literals) against a
+/// reference std::unordered_map.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "janus/logic/aig.hpp"
+#include "janus/netlist/cell_library.hpp"
+#include "janus/netlist/netlist.hpp"
+#include "janus/netlist/technology.hpp"
+#include "janus/util/rng.hpp"
+
+namespace janus {
+namespace {
+
+std::shared_ptr<const CellLibrary> lib28() {
+    static const auto lib = std::make_shared<const CellLibrary>(
+        make_default_library(*find_node("28nm")));
+    return lib;
+}
+
+/// Random combinational netlist: `pis` primary inputs, `gates` instances of
+/// mixed arity, every fanin drawn from the nets created so far.
+Netlist make_random_netlist(Rng& rng, std::size_t pis, std::size_t gates) {
+    Netlist nl(lib28(), "rand");
+    const auto& lib = nl.library();
+    std::vector<std::size_t> types;
+    for (const char* name :
+         {"INV_X1", "NAND2_X1", "NOR2_X2", "XOR2_X1", "AOI21_X1", "MUX2_X1"}) {
+        if (const auto id = lib.find(name)) types.push_back(*id);
+    }
+    EXPECT_GE(types.size(), 3u) << "default library missing expected cells";
+    for (std::size_t i = 0; i < pis; ++i) {
+        nl.add_primary_input("pi" + std::to_string(i));
+    }
+    for (std::size_t g = 0; g < gates; ++g) {
+        const std::size_t type = types[rng.pick_index(types.size())];
+        const int arity = function_arity(lib.cell(type).function);
+        std::vector<NetId> fanins;
+        for (int p = 0; p < arity; ++p) {
+            fanins.push_back(
+                static_cast<NetId>(rng.pick_index(nl.num_nets())));
+        }
+        nl.add_instance("g" + std::to_string(g), type, fanins);
+    }
+    nl.add_primary_output("po", static_cast<NetId>(nl.num_nets() - 1));
+    return nl;
+}
+
+/// From-scratch sink scan in the contract order (instance-id-major,
+/// pin-minor), computed without touching the CSR cache.
+std::vector<std::vector<std::pair<InstId, int>>> scan_sinks(const Netlist& nl) {
+    std::vector<std::vector<std::pair<InstId, int>>> by_net(nl.num_nets());
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+        const int arity = function_arity(nl.type_of(i).function);
+        for (int p = 0; p < arity; ++p) {
+            const NetId n = nl.instance(i).fanin[static_cast<std::size_t>(p)];
+            if (n != kNoNet) by_net[n].emplace_back(i, p);
+        }
+    }
+    return by_net;
+}
+
+void expect_csr_matches_scan(const Netlist& nl) {
+    const auto ref = scan_sinks(nl);
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const auto got = nl.sinks(n);
+        ASSERT_EQ(got.size(), ref[n].size()) << "net " << n;
+        for (std::size_t s = 0; s < got.size(); ++s) {
+            EXPECT_EQ(got[s].inst(), ref[n][s].first) << "net " << n;
+            EXPECT_EQ(got[s].pin(), ref[n][s].second) << "net " << n;
+        }
+    }
+}
+
+// ------------------------------------------------------- memory accounting
+
+TEST(MegascaleStorage, MemoryBytesCoversComponents) {
+    Rng rng(7);
+    Netlist nl = make_random_netlist(rng, 32, 500);
+    // The accounting is capacity-based, so it can never report less than
+    // the live id arrays plus the interned name pool.
+    const std::size_t floor = nl.num_instances() * sizeof(Instance) +
+                              nl.num_nets() * sizeof(Net) +
+                              nl.names().memory_bytes();
+    EXPECT_GE(nl.memory_bytes(), floor);
+}
+
+TEST(MegascaleStorage, MemoryBytesGrowsWithDesign) {
+    Netlist nl(lib28(), "grow");
+    const std::size_t empty = nl.memory_bytes();
+    const NetId a = nl.add_primary_input("a");
+    const auto nand2 = nl.library().find("NAND2_X1");
+    ASSERT_TRUE(nand2.has_value());
+    for (int i = 0; i < 200; ++i) {
+        nl.add_instance("g" + std::to_string(i), *nand2, {a, a});
+    }
+    EXPECT_GT(nl.memory_bytes(),
+              empty + 200 * (sizeof(Instance) + sizeof(Net)));
+}
+
+TEST(MegascaleStorage, MemoryBytesIncludesWarmCaches) {
+    Rng rng(9);
+    Netlist nl = make_random_netlist(rng, 16, 300);
+    nl.shrink_to_fit();
+    const std::size_t cold = nl.memory_bytes();
+    // Warming the CSR sink cache and the topo cache must show up in the
+    // accounting: the pool holds one packed SinkRef per connected pin plus
+    // the offsets array.
+    (void)nl.sinks(0);
+    (void)nl.topological_order();
+    std::size_t pins = 0;
+    for (const auto& per_net : scan_sinks(nl)) pins += per_net.size();
+    const std::size_t warm = nl.memory_bytes();
+    EXPECT_GE(warm, cold + pins * sizeof(SinkRef) +
+                        (nl.num_nets() + 1) * sizeof(std::uint32_t));
+}
+
+TEST(MegascaleStorage, ShrinkToFitNeverGrows) {
+    Rng rng(11);
+    Netlist nl = make_random_netlist(rng, 16, 777);
+    (void)nl.sinks(0);
+    (void)nl.topological_order();
+    const std::size_t before = nl.memory_bytes();
+    nl.shrink_to_fit();
+    EXPECT_LE(nl.memory_bytes(), before);
+    // Shrinking must not drop the warmed caches' contents.
+    expect_csr_matches_scan(nl);
+}
+
+TEST(MegascaleStorage, DerivedNetNamesRoundTrip) {
+    Netlist nl(lib28(), "names");
+    const NetId a = nl.add_primary_input("a");
+    const auto inv = nl.library().find("INV_X1");
+    ASSERT_TRUE(inv.has_value());
+    const InstId g = nl.add_instance("u_core.g0", *inv, {a});
+    const NetId out = nl.instance(g).output;
+    // Derived output-net names are materialized on demand, never interned:
+    // a second instance must not grow the name table by more than its own
+    // instance name.
+    EXPECT_EQ(nl.net_name(out), "u_core.g0.out");
+    EXPECT_EQ(nl.net_name_id("u_core.g0.out"), nl.net(out).name);
+    EXPECT_EQ(nl.net_name_id("a"), nl.net(a).name);
+    EXPECT_EQ(nl.net_name_id("no.such.net"), kNoName);
+}
+
+// ------------------------------------------------------- CSR sink cache
+
+TEST(MegascaleCsr, SinksMatchScanAfterRandomizedMutations) {
+    for (const std::uint64_t seed : {21u, 22u}) {
+        Rng rng(seed);
+        Netlist nl = make_random_netlist(rng, 40, 400);
+        expect_csr_matches_scan(nl);
+        // Interleave rewires with fresh instances; re-check the CSR from a
+        // cold rebuild every batch.
+        for (int batch = 0; batch < 4; ++batch) {
+            for (int m = 0; m < 60; ++m) {
+                const InstId i =
+                    static_cast<InstId>(rng.pick_index(nl.num_instances()));
+                const int arity = function_arity(nl.type_of(i).function);
+                const int pin = static_cast<int>(rng.pick_index(
+                    static_cast<std::size_t>(arity)));
+                nl.connect_input(
+                    i, pin, static_cast<NetId>(rng.pick_index(nl.num_nets())));
+            }
+            const auto inv = nl.library().find("INV_X1");
+            nl.add_instance("m" + std::to_string(batch), *inv,
+                            {static_cast<NetId>(rng.pick_index(nl.num_nets()))});
+            expect_csr_matches_scan(nl);
+        }
+    }
+}
+
+TEST(MegascaleCsr, SinkRefPacksLosslessly) {
+    // 2-bit pin field, 30-bit instance field.
+    for (const InstId inst : {0u, 1u, 12345u, (1u << 30) - 1}) {
+        for (int pin = 0; pin < kMaxFanin; ++pin) {
+            const SinkRef ref{inst, pin};
+            EXPECT_EQ(ref.inst(), inst);
+            EXPECT_EQ(ref.pin(), pin);
+        }
+    }
+    static_assert(sizeof(SinkRef) == 4, "SinkRef must stay packed");
+}
+
+// ------------------------------------------------------- AIG unique table
+
+TEST(MegascaleStrash, OpenAddressedTableMatchesReferenceMap) {
+    // Drive land() with random literal pairs and mirror the unique table
+    // with the old-style map keyed on the canonical (min, max) pair. The
+    // open-addressed table must produce the same literal for every call and
+    // the same hit count — i.e. it is observationally the same structure.
+    for (const std::uint64_t seed : {101u, 202u}) {
+        Rng rng(seed);
+        Aig aig;
+        std::vector<AigLit> lits;
+        for (int i = 0; i < 16; ++i) lits.push_back(aig.add_input());
+        lits.push_back(Aig::const0());
+        lits.push_back(Aig::const1());
+
+        std::unordered_map<std::uint64_t, AigLit> ref;
+        std::uint64_t expected_hits = 0;
+        for (int i = 0; i < 4000; ++i) {
+            AigLit a = lits[rng.pick_index(lits.size())];
+            AigLit b = lits[rng.pick_index(lits.size())];
+            if (rng.next_bool()) a = aig_not(a);
+            if (rng.next_bool()) b = aig_not(b);
+            // Mirror land()'s pre-table simplifications; only pairs that
+            // reach the table participate in hit accounting.
+            AigLit x = a, y = b;
+            if (x > y) std::swap(x, y);
+            const bool simplified = x == Aig::const0() ||
+                                    x == Aig::const1() || x == y ||
+                                    x == aig_not(y);
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(x) << 32) | y;
+            const auto it = simplified ? ref.end() : ref.find(key);
+            const AigLit got = aig.land(a, b);
+            if (it != ref.end()) {
+                ++expected_hits;
+                EXPECT_EQ(got, it->second)
+                    << "seed " << seed << " iteration " << i;
+            } else if (!simplified) {
+                ref.emplace(key, got);
+            }
+            lits.push_back(got);
+        }
+        EXPECT_EQ(aig.strash_hits(), expected_hits) << "seed " << seed;
+        EXPECT_EQ(aig.num_ands(), ref.size()) << "seed " << seed;
+        EXPECT_GT(expected_hits, 0u) << "seed " << seed
+                                     << ": test never exercised a hit";
+    }
+}
+
+TEST(MegascaleStrash, MemoryBytesTracksTableGrowth) {
+    Aig aig;
+    const std::size_t small = aig.memory_bytes();
+    std::vector<AigLit> lits;
+    for (int i = 0; i < 12; ++i) lits.push_back(aig.add_input());
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const AigLit a = lits[rng.pick_index(lits.size())];
+        const AigLit b = lits[rng.pick_index(lits.size())];
+        lits.push_back(aig.land(a, aig_not(b)));
+    }
+    // Nodes plus the power-of-two table: at minimum 12 bytes of key/value
+    // slot per stored AND at max load factor, plus the fanin arrays.
+    EXPECT_GE(aig.memory_bytes(),
+              small + aig.num_ands() * (2 * sizeof(AigLit) + 12));
+}
+
+}  // namespace
+}  // namespace janus

@@ -408,7 +408,7 @@ ColdRerun cold_rerun(const std::string& netlist_text, const FlowParams& params,
             const CellType& cur = ctx.netlist.type_of(i);
             for (const std::size_t v : lib.variants(cur.function)) {
                 if (lib.cell(v).drive > cur.drive) {
-                    out.instance = ctx.netlist.instance(i).name;
+                    out.instance = std::string(ctx.netlist.instance_name(i));
                     out.cell = lib.cell(v).name;
                     ctx.netlist.instance(i).type = v;
                     break;

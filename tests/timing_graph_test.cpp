@@ -435,7 +435,7 @@ TEST(TimingGraph, WorstEndpointMatchesCriticalPathTail) {
                   nl.instance(r.critical_path.back()).output);
         const std::string txt = format_timing_report(nl, r);
         EXPECT_NE(txt.find("worst endpoint"), std::string::npos);
-        EXPECT_NE(txt.find(nl.net(r.worst_endpoint).name), std::string::npos);
+        EXPECT_NE(txt.find(nl.net_name(r.worst_endpoint)), std::string::npos);
     }
 }
 
